@@ -1,0 +1,404 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (see DESIGN.md's per-experiment index and EXPERIMENTS.md for
+   paper-vs-measured numbers).
+
+   Default sizes keep the whole run to a few minutes; set SONAR_BENCH_FULL=1
+   to scale campaign iterations and PoC trials up to paper scale. Individual
+   experiments can be selected by passing their ids as argv (e.g.
+   `bench/main.exe fig8 table3`); no arguments runs everything. *)
+
+let full = Sys.getenv_opt "SONAR_BENCH_FULL" <> None
+let fuzz_iterations = if full then 3000 else 400
+let poc_trials = if full then 100 else 8
+let poc_bits = if full then 128 else 32
+
+let section id title =
+  Printf.printf "\n==================================================\n";
+  Printf.printf "%s — %s\n" id title;
+  Printf.printf "==================================================\n%!"
+
+let time_it f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+(* ------------------------------------------------------------------ *)
+(* Table 1: DUT configuration parameters.                              *)
+
+let table1 () =
+  section "table1" "Key parameters of BOOM and NutShell (Table 1)";
+  List.iter
+    (fun cfg ->
+      Format.printf "%a@.@." Sonar_uarch.Config.pp cfg)
+    [ Sonar_uarch.Config.boom; Sonar_uarch.Config.nutshell ]
+
+(* ------------------------------------------------------------------ *)
+(* Figure 6 / Figure 7: contention-point identification and filtering. *)
+
+let summaries = lazy (
+  List.map
+    (fun cfg ->
+      let circuit = Sonar_dut.Netlist_gen.generate ~pad:false cfg in
+      (cfg, circuit, Sonar_ir.Analysis.summarize circuit))
+    [ Sonar_uarch.Config.boom; Sonar_uarch.Config.nutshell ])
+
+let fig6 () =
+  section "fig6" "Identified contention points: naive 2:1-MUX vs bottom-up";
+  Printf.printf "%-10s %14s %14s %12s\n" "DUT" "2:1-MUX" "bottom-up" "reduction";
+  List.iter
+    (fun (cfg, _, s) ->
+      Printf.printf "%-10s %14d %14d %11.1f%%\n" cfg.Sonar_uarch.Config.name
+        s.Sonar_ir.Analysis.naive_mux_points s.identified_points
+        (100. *. s.reduction_vs_naive))
+    (Lazy.force summaries);
+  Printf.printf "(paper: BOOM 31484 -> 8975, -71.5%%; NutShell 23618 -> 4631, -80.4%%)\n"
+
+let fig7 () =
+  section "fig7" "Distribution of contention points; filtering (Figure 7)";
+  List.iter
+    (fun (cfg, _, s) ->
+      Printf.printf "%s: identified %d -> monitored %d (-%.1f%%)\n"
+        cfg.Sonar_uarch.Config.name s.Sonar_ir.Analysis.identified_points
+        s.monitored_points
+        (100. *. s.reduction_by_filter);
+      List.iter
+        (fun (cs : Sonar_ir.Analysis.component_stats) ->
+          Printf.printf "  %-9s identified %6d  monitored %6d\n"
+            (Sonar_ir.Component.to_string cs.component)
+            cs.identified cs.monitored)
+        s.per_component)
+    (Lazy.force summaries);
+  Printf.printf "(paper: BOOM 8975 -> 6620, -26.2%%; NutShell 4631 -> 2976, -35.7%%)\n"
+
+(* ------------------------------------------------------------------ *)
+(* Table 2: instrumentation overhead.                                  *)
+
+let table2 () =
+  section "table2" "Instrumentation overhead of Sonar (Table 2)";
+  List.iter
+    (fun cfg ->
+      let name = cfg.Sonar_uarch.Config.name in
+      (* "Compile": netlist generation + analysis (plain) vs + instrumentation. *)
+      let circuit, t_gen =
+        time_it (fun () -> Sonar_dut.Netlist_gen.generate ~pad:true cfg)
+      in
+      let _, t_analyze = time_it (fun () -> Sonar_ir.Analysis.summarize circuit) in
+      let instr_result, t_instr =
+        time_it (fun () -> Sonar_ir.Instrument.instrument circuit)
+      in
+      let base = float_of_int (Sonar_ir.Circuit.stmt_count circuit) in
+      let added = float_of_int instr_result.Sonar_ir.Instrument.stmts_added in
+      let compile_plain = t_gen +. t_analyze in
+      let compile_instr = compile_plain +. t_instr in
+      (* Simulation speed: a reduced-scale instrumented netlist through the
+         RTL engine, vs the same netlist uninstrumented. *)
+      let small = Sonar_dut.Netlist_gen.generate ~scale:0.01 ~pad:false cfg in
+      let small_instr = Sonar_ir.Instrument.instrument small in
+      let sim_speed circuit =
+        let m = List.hd circuit.Sonar_ir.Circuit.modules in
+        let engine = Sonar_rtlsim.Engine.compile m in
+        let cycles = 2000 in
+        let _, dt =
+          time_it (fun () ->
+              for _ = 1 to cycles do
+                Sonar_rtlsim.Engine.step engine
+              done)
+        in
+        float_of_int cycles /. dt
+      in
+      let hz_plain = sim_speed small in
+      let hz_instr = sim_speed small_instr.Sonar_ir.Instrument.circuit in
+      (* Fuzzing speed: timed Sonar iterations on the timing model. *)
+      let iters = 40 in
+      let _, t_fuzz =
+        time_it (fun () ->
+            ignore
+              (Sonar.Fuzzer.run ~seed:5L cfg Sonar.Fuzzer.full_strategy
+                 ~iterations:iters))
+      in
+      Printf.printf
+        "%-10s points %5d | compile %.2fs (+%.0f%%) | new stmts %.0fk (%.0f%%) \
+         | sim %.0fk -> %.0fk cyc/s (-%.0f%%) | fuzzing %.0f/hour\n"
+        name instr_result.points_instrumented compile_instr
+        (100. *. (compile_instr -. compile_plain) /. compile_plain)
+        (added /. 1000.)
+        (100. *. added /. (base +. added))
+        (hz_plain /. 1000.) (hz_instr /. 1000.)
+        (100. *. (hz_plain -. hz_instr) /. hz_plain)
+        (3600. /. (t_fuzz /. float_of_int iters)))
+    [ Sonar_uarch.Config.boom; Sonar_uarch.Config.nutshell ];
+  Printf.printf
+    "(paper: compile +43%%/+45%%; new verilog 14%%/20%%; sim slowdown \
+     26%%/38%%; fuzzing 239/h BOOM, 7596/h NutShell)\n"
+
+(* ------------------------------------------------------------------ *)
+(* Figure 8 (+ §8.3.2): Sonar vs random testing.                       *)
+
+let checkpoints series n =
+  List.filter
+    (fun (p : Sonar.Fuzzer.series_point) ->
+      p.iteration mod (max 1 (n / 6)) = 0 || p.iteration = n)
+    series
+
+let fig8 () =
+  section "fig8" "Triggered contentions and timing differences vs random";
+  List.iter
+    (fun cfg ->
+      let name = cfg.Sonar_uarch.Config.name in
+      Printf.printf "--- %s (%d iterations per fuzzer) ---\n%!" name fuzz_iterations;
+      let sonar =
+        Sonar.Fuzzer.run ~seed:42L cfg Sonar.Fuzzer.full_strategy
+          ~iterations:fuzz_iterations
+      in
+      let random =
+        Sonar.Baseline.random_testing ~seed:42L cfg ~iterations:fuzz_iterations
+      in
+      List.iter2
+        (fun (a : Sonar.Fuzzer.series_point) (b : Sonar.Fuzzer.series_point) ->
+          Printf.printf
+            "iter %5d | sonar: coverage %7.0f diffs %6d | random: coverage \
+             %7.0f diffs %6d\n"
+            a.iteration a.coverage a.timing_diffs b.coverage b.timing_diffs)
+        (checkpoints sonar.series fuzz_iterations)
+        (checkpoints random.series fuzz_iterations);
+      let pct a b = if b = 0. then 0. else 100. *. (a -. b) /. b in
+      Printf.printf
+        "summary: coverage %+.0f%%, timing differences %+.0f%% vs random \
+         (paper: +117%% and +210%% on average)\n"
+        (pct sonar.final_coverage random.final_coverage)
+        (pct (float_of_int sonar.final_timing_diffs)
+           (float_of_int random.final_timing_diffs));
+      Printf.printf
+        "testcases with timing differences: %.1f%% (paper: timing differences \
+         observed for 2.4-7.2%% of triggered contentions)\n"
+        (100.
+        *. float_of_int sonar.testcases_with_diffs
+        /. float_of_int fuzz_iterations))
+    [ Sonar_uarch.Config.boom; Sonar_uarch.Config.nutshell ]
+
+(* ------------------------------------------------------------------ *)
+(* Figure 9: single-valid dominance of early contentions.              *)
+
+let fig9 () =
+  section "fig9" "Single-valid-signal dominance in the first 20 testcases";
+  List.iter
+    (fun cfg ->
+      let o = Sonar.Fuzzer.run ~seed:7L cfg Sonar.Fuzzer.full_strategy ~iterations:20 in
+      Printf.printf "%-10s single-valid share of early coverage: %.0f%%\n"
+        cfg.Sonar_uarch.Config.name
+        (100. *. o.single_valid_share_first20))
+    [ Sonar_uarch.Config.boom; Sonar_uarch.Config.nutshell ];
+  Printf.printf "(paper: contentions triggered by the first 20 testcases are \
+                 dominated by single valid signals)\n"
+
+(* ------------------------------------------------------------------ *)
+(* Figure 10: strategy breakdown.                                      *)
+
+let fig10 () =
+  section "fig10" "Effectiveness of each fuzzing strategy (BOOM)";
+  let iters = max 100 (fuzz_iterations / 2) in
+  let strategies =
+    [
+      ("random (none)", Sonar.Fuzzer.random_strategy);
+      ( "retention",
+        { Sonar.Fuzzer.retention = true; selection = false; directed_mutation = false } );
+      ( "retention+selection",
+        { Sonar.Fuzzer.retention = true; selection = true; directed_mutation = false } );
+      ("full (directed mutation)", Sonar.Fuzzer.full_strategy);
+    ]
+  in
+  List.iter
+    (fun (name, strategy) ->
+      let o =
+        Sonar.Fuzzer.run ~seed:42L Sonar_uarch.Config.boom strategy ~iterations:iters
+      in
+      Printf.printf "%-26s coverage %8.0f  timing diffs %6d\n" name
+        o.final_coverage o.final_timing_diffs)
+    strategies;
+  Printf.printf "(paper: each added strategy increases triggered contentions, \
+                 most visibly late in the campaign)\n"
+
+(* ------------------------------------------------------------------ *)
+(* Figure 11 + §8.3.4: vs SpecDoctor.                                  *)
+
+let fig11 () =
+  section "fig11" "Sonar vs SpecDoctor: new contention points; instrumentation complexity";
+  let iters = max 200 (fuzz_iterations / 2) in
+  let sonar =
+    Sonar.Fuzzer.run ~seed:11L Sonar_uarch.Config.boom Sonar.Fuzzer.full_strategy
+      ~iterations:iters
+  in
+  let sd = Sonar.Baseline.specdoctor ~seed:11L Sonar_uarch.Config.boom ~iterations:iters in
+  let sd_final = (List.nth sd (List.length sd - 1)).Sonar.Fuzzer.coverage in
+  Printf.printf "after %d iterations: sonar %.0f vs specdoctor %.0f contention \
+                 points (%.2fx; paper: 2.13x)\n"
+    iters sonar.final_coverage sd_final
+    (sonar.final_coverage /. Float.max 1. sd_final);
+  (* Instrumentation complexity: O(n) vs O(n^2) over module size. *)
+  Printf.printf "\ninstrumentation scaling (statements -> seconds):\n";
+  Printf.printf "%8s %12s %12s %14s\n" "stmts" "sonar O(n)" "specdoc O(n^2)" "pair checks";
+  List.iter
+    (fun scale ->
+      let c = Sonar_dut.Netlist_gen.generate ~scale ~pad:false Sonar_uarch.Config.boom in
+      let n = Sonar_ir.Circuit.stmt_count c in
+      let _, t_sonar = time_it (fun () -> Sonar_ir.Instrument.instrument c) in
+      let sd_result, t_sd =
+        time_it (fun () -> Sonar_ir.Specdoctor_instrument.instrument c)
+      in
+      Printf.printf "%8d %11.3fs %11.3fs %14d\n" n t_sonar t_sd
+        sd_result.Sonar_ir.Specdoctor_instrument.pair_checks)
+    [ 0.05; 0.1; 0.2; 0.4 ]
+
+(* ------------------------------------------------------------------ *)
+(* Table 3: the fourteen side channels.                                *)
+
+let table3 () =
+  section "table3" "Contention side channels found by Sonar (Table 3)";
+  Printf.printf "%-4s %-10s %-9s %-4s %-18s %-10s %s\n" "#" "resource" "DUT" "new"
+    "measured delta" "paper" "detector";
+  List.iter
+    (fun c ->
+      let m = Sonar.Channels.measure c in
+      Printf.printf "%-4s %-10s %-9s %-4s %14d cyc %5d-%-4d %s%s\n"
+        c.Sonar.Channels.id c.resource c.dut
+        (if c.is_new then "yes" else "no")
+        m.time_difference (fst c.paper_band) (snd c.paper_band)
+        (if m.in_band then "band-ok" else "OFF-BAND")
+        (if m.points_implicated then ", point implicated" else ", POINT MISSING"))
+    Sonar.Channels.all
+
+(* ------------------------------------------------------------------ *)
+(* §8.5: exploitability.                                               *)
+
+let exploit () =
+  section "exploit" "Meltdown-style PoC accuracy (§8.5)";
+  List.iter
+    (fun c ->
+      match Sonar.Attack.gadget_for c.Sonar.Channels.id with
+      | None -> ()
+      | Some gadget ->
+          let cfg = Option.get (Sonar_uarch.Config.by_name c.dut) in
+          let r =
+            Sonar.Attack.run_poc ~trials:poc_trials ~key_bits:poc_bits cfg
+              ~channel_id:c.id gadget
+          in
+          Format.printf "%a@." Sonar.Attack.pp_result r)
+    Sonar.Channels.all;
+  Printf.printf
+    "(paper: >99%% key accuracy for S1-S7/S11-S12 on BOOM; <2%% on NutShell \
+     because exceptions are detected before the channel is established)\n"
+
+(* ------------------------------------------------------------------ *)
+(* §8.6: mitigation — timer coarsening.                                 *)
+
+let mitigation () =
+  section "mitigation" "Timer-coarsening mitigation (§8.6)";
+  Printf.printf
+    "Restricting clock registers quantises the attacker's measurements;      accuracy collapses once the granularity exceeds the channel margin.
+";
+  List.iter
+    (fun (id, gadget) ->
+      Printf.printf "%s PoC bit accuracy:" id;
+      List.iter
+        (fun g ->
+          let r =
+            Sonar.Attack.run_poc ~trials:4 ~key_bits:24 ~timer_granularity:g
+              Sonar_uarch.Config.boom ~channel_id:id gadget
+          in
+          Printf.printf "  g=%-3d %5.1f%%" g (100. *. r.Sonar.Attack.bit_accuracy))
+        [ 1; 8; 32; 128; 512 ];
+      print_newline ())
+    [ ("S11", Sonar.Attack.Cache_probe); ("S1", Sonar.Attack.Channel_occupancy) ]
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks: per-experiment kernels.                   *)
+
+let bechamel () =
+  section "bechamel" "Micro-benchmarks of the experiment kernels";
+  let open Bechamel in
+  let example = Sonar_dut.Netlist_gen.example_module () in
+  let small =
+    lazy (Sonar_dut.Netlist_gen.generate ~scale:0.02 ~pad:false Sonar_uarch.Config.boom)
+  in
+  let quick_program =
+    Sonar_isa.Program.make
+      (Sonar_isa.Asm.li (Sonar_isa.Reg.of_int 5) 123456L
+      @ [
+          Sonar_isa.Instr.Rtype
+            (Sonar_isa.Instr.MUL, Sonar_isa.Reg.of_int 6, Sonar_isa.Reg.of_int 5,
+             Sonar_isa.Reg.of_int 5);
+          Sonar_isa.Asm.halt;
+        ])
+  in
+  let tests =
+    [
+      Test.make ~name:"fig6:mux-tracing (example module)"
+        (Staged.stage (fun () -> Sonar_ir.Mux_tree.points_of_module example));
+      Test.make ~name:"fig7:classify (example module)"
+        (Staged.stage (fun () -> Sonar_ir.Const_filter.classify_module example));
+      Test.make ~name:"table2:instrument (small netlist)"
+        (Staged.stage (fun () ->
+             Sonar_ir.Instrument.instrument (Lazy.force small)));
+      Test.make ~name:"table2:golden-run (quick program)"
+        (Staged.stage (fun () -> Sonar_isa.Golden.run quick_program));
+      Test.make ~name:"fig8:machine-run (quick program)"
+        (Staged.stage (fun () ->
+             Sonar_uarch.Machine.run_single Sonar_uarch.Config.boom quick_program));
+      Test.make ~name:"table3:channel-measure (S8)"
+        (Staged.stage (fun () ->
+             Sonar.Channels.measure (Option.get (Sonar.Channels.find "S8"))));
+    ]
+  in
+  let benchmark test =
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+    in
+    let instances = Toolkit.Instance.[ monotonic_clock ] in
+    let cfg =
+      Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) ()
+    in
+    let raw = Benchmark.all cfg instances test in
+    let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+    Hashtbl.iter
+      (fun name result ->
+        match Analyze.OLS.estimates result with
+        | Some [ est ] -> Printf.printf "%-44s %12.1f ns/run\n" name est
+        | _ -> Printf.printf "%-44s (no estimate)\n" name)
+      results
+  in
+  benchmark (Test.make_grouped ~name:"sonar" tests)
+
+(* ------------------------------------------------------------------ *)
+
+let experiments =
+  [
+    ("table1", table1);
+    ("fig6", fig6);
+    ("fig7", fig7);
+    ("table2", table2);
+    ("fig8", fig8);
+    ("fig9", fig9);
+    ("fig10", fig10);
+    ("fig11", fig11);
+    ("table3", table3);
+    ("exploit", exploit);
+    ("mitigation", mitigation);
+    ("bechamel", bechamel);
+  ]
+
+let () =
+  let selected =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as ids) -> ids
+    | _ -> List.map fst experiments
+  in
+  List.iter
+    (fun id ->
+      match List.assoc_opt id experiments with
+      | Some f -> f ()
+      | None ->
+          Printf.printf "unknown experiment %s (available: %s)\n" id
+            (String.concat ", " (List.map fst experiments)))
+    selected;
+  Printf.printf "\nAll selected experiments completed%s.\n"
+    (if full then " (full scale)" else " (reduced scale; SONAR_BENCH_FULL=1 for paper scale)")

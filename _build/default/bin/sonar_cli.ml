@@ -1,0 +1,128 @@
+(* Command-line interface to the Sonar framework.
+
+     sonar analyze  --dut boom            static identification & filtering
+     sonar fuzz     --dut boom -n 500     guided fuzzing campaign
+     sonar channels [--id S5]             measure the Table 3 channels
+     sonar attack   --id S11 -t 10        Meltdown-style PoC
+*)
+
+open Cmdliner
+
+let dut_arg =
+  let doc = "Design under test: boom or nutshell." in
+  Arg.(value & opt string "boom" & info [ "dut" ] ~docv:"DUT" ~doc)
+
+let config_of_name name =
+  match Sonar_uarch.Config.by_name name with
+  | Some cfg -> Ok cfg
+  | None -> Error (`Msg (Printf.sprintf "unknown DUT %s (boom|nutshell)" name))
+
+let analyze dut =
+  match config_of_name dut with
+  | Error (`Msg m) -> prerr_endline m; 1
+  | Ok cfg ->
+      let circuit = Sonar_dut.Netlist_gen.generate ~pad:false cfg in
+      Format.printf "%a@." Sonar_ir.Analysis.pp_summary
+        (Sonar_ir.Analysis.summarize circuit);
+      0
+
+let fuzz dut iterations seed random_mode dual =
+  match config_of_name dut with
+  | Error (`Msg m) -> prerr_endline m; 1
+  | Ok cfg ->
+      let strategy =
+        if random_mode then Sonar.Fuzzer.random_strategy
+        else Sonar.Fuzzer.full_strategy
+      in
+      let o =
+        Sonar.Fuzzer.run ~seed:(Int64.of_int seed) ~dual cfg strategy ~iterations
+      in
+      Format.printf
+        "%s, %d iterations (%s):@.  contention coverage %.0f netlist points@.  \
+         %d secret-reflecting timing differences in %d testcases@."
+        dut iterations
+        (if random_mode then "random testing" else "guided")
+        o.Sonar.Fuzzer.final_coverage o.final_timing_diffs o.testcases_with_diffs;
+      List.iteri
+        (fun k (iteration, report) ->
+          if k < 3 then
+            Format.printf "@.finding at iteration %d:@.%a@." iteration
+              Sonar.Detector.pp_report report)
+        o.reports;
+      0
+
+let channels id =
+  let selected =
+    match id with
+    | Some id -> (
+        match Sonar.Channels.find id with Some c -> [ c ] | None -> [])
+    | None -> Sonar.Channels.all
+  in
+  if selected = [] then begin
+    prerr_endline "unknown channel id (S1..S14)";
+    1
+  end
+  else begin
+    List.iter
+      (fun c ->
+        Format.printf "%a@." Sonar.Channels.pp_measurement
+          (Sonar.Channels.measure c))
+      selected;
+    0
+  end
+
+let attack id trials bits =
+  match Sonar.Channels.find id with
+  | None -> prerr_endline "unknown channel id (S1..S14)"; 1
+  | Some c -> (
+      match Sonar.Attack.gadget_for id with
+      | None ->
+          Format.printf "%s was previously known; the paper builds no PoC for it@." id;
+          0
+      | Some gadget ->
+          let cfg = Option.get (Sonar_uarch.Config.by_name c.dut) in
+          let r =
+            Sonar.Attack.run_poc ~trials ~key_bits:bits cfg ~channel_id:id gadget
+          in
+          Format.printf "%a@." Sonar.Attack.pp_result r;
+          0)
+
+let analyze_cmd =
+  let doc = "identify and filter contention points in a DUT netlist" in
+  Cmd.v (Cmd.info "analyze" ~doc) Term.(const analyze $ dut_arg)
+
+let fuzz_cmd =
+  let doc = "run a contention-guided fuzzing campaign" in
+  let iters =
+    Arg.(value & opt int 200 & info [ "n"; "iterations" ] ~docv:"N" ~doc:"Iterations.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"RNG seed.") in
+  let random_mode =
+    Arg.(value & flag & info [ "random" ] ~doc:"Disable all guidance (baseline).")
+  in
+  let dual =
+    Arg.(value & flag & info [ "dual" ] ~doc:"Dual-core testcases (Figure 4b).")
+  in
+  Cmd.v (Cmd.info "fuzz" ~doc)
+    Term.(const fuzz $ dut_arg $ iters $ seed $ random_mode $ dual)
+
+let channels_cmd =
+  let doc = "measure the catalogued side channels (Table 3)" in
+  let id =
+    Arg.(value & opt (some string) None & info [ "id" ] ~docv:"Sx" ~doc:"Channel id.")
+  in
+  Cmd.v (Cmd.info "channels" ~doc) Term.(const channels $ id)
+
+let attack_cmd =
+  let doc = "run a Meltdown-style exploitability PoC (§8.5)" in
+  let id = Arg.(value & opt string "S11" & info [ "id" ] ~docv:"Sx" ~doc:"Channel id.") in
+  let trials = Arg.(value & opt int 5 & info [ "t"; "trials" ] ~doc:"Trials.") in
+  let bits = Arg.(value & opt int 32 & info [ "bits" ] ~doc:"Key bits.") in
+  Cmd.v (Cmd.info "attack" ~doc) Term.(const attack $ id $ trials $ bits)
+
+let () =
+  let doc = "Sonar: hardware fuzzing for contention side channels" in
+  exit
+    (Cmd.eval'
+       (Cmd.group (Cmd.info "sonar" ~version:"1.0.0" ~doc)
+          [ analyze_cmd; fuzz_cmd; channels_cmd; attack_cmd ]))

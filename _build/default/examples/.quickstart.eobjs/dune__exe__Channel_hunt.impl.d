@@ -1,0 +1,1 @@
+examples/channel_hunt.ml: Array Format List Sonar Sys

@@ -1,0 +1,1 @@
+examples/meltdown_attack.ml: Format Sonar Sonar_uarch

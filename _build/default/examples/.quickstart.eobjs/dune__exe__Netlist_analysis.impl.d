@@ -1,0 +1,1 @@
+examples/netlist_analysis.ml: Format List Sonar_dut Sonar_ir Sonar_rtlsim Sonar_uarch

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Sonar Sonar_ir Sonar_uarch

@@ -1,0 +1,28 @@
+(* Meltdown-style exploitation of a contention side channel (§7.3, §8.5).
+
+   A 32-bit key sits in protected (machine-only) memory; the attacker runs
+   in user mode. Each faulting access transiently forwards one key bit into
+   a gadget whose resource usage depends on it; the resulting contention
+   shifts observable commit timing, and a calibrated threshold recovers the
+   bit. On the BOOM model (lazy exception handling) the key is recovered;
+   on NutShell (early detection) the transient window never opens and the
+   inference collapses to coin flips.
+
+   Run with: dune exec examples/meltdown_attack.exe *)
+
+let attack cfg channel_id gadget =
+  Format.printf "== %s PoC on %s ==@." channel_id cfg.Sonar_uarch.Config.name;
+  let r =
+    Sonar.Attack.run_poc ~seed:1234L ~trials:6 ~key_bits:32 cfg ~channel_id gadget
+  in
+  Format.printf "%a@.@." Sonar.Attack.pp_result r
+
+let () =
+  attack Sonar_uarch.Config.boom "S11" Sonar.Attack.Cache_probe;
+  attack Sonar_uarch.Config.boom "S1" Sonar.Attack.Channel_occupancy;
+  attack Sonar_uarch.Config.boom "S5" Sonar.Attack.Mshr_block;
+  attack Sonar_uarch.Config.nutshell "S13" Sonar.Attack.Port_pressure;
+  Format.printf
+    "BOOM's lazy exception handling leaves a transient window in which the \
+     gadget runs with the forwarded secret; NutShell squashes at execute, \
+     so its PoCs stay at chance level (paper §8.5: >99%% vs <2%%).@."

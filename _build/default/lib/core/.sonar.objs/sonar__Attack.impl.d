@@ -1,0 +1,1 @@
+lib/core/attack.ml: Array Asm Config Core_model Float Format Hashtbl Instr Int64 Layout List Machine Option Program Reg Rng Sonar_isa Sonar_uarch

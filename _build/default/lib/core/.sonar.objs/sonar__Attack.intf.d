@@ -1,0 +1,1 @@
+lib/core/attack.mli: Format Sonar_isa Sonar_uarch

@@ -1,0 +1,1 @@
+lib/core/baseline.ml: Coverage Executor Fuzzer List Mutation Rng Sonar_isa Testcase

@@ -1,0 +1,1 @@
+lib/core/baseline.mli: Fuzzer Sonar_uarch

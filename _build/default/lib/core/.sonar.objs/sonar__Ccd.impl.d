@@ -1,0 +1,1 @@
+lib/core/ccd.ml: Array Core_model List Sonar_isa Sonar_uarch

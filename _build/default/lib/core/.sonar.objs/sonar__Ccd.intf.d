@@ -1,0 +1,1 @@
+lib/core/ccd.mli: Sonar_isa Sonar_uarch

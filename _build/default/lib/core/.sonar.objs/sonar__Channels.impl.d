@@ -1,0 +1,1 @@
+lib/core/channels.ml: Array Asm Ccd Config Detector Executor Format Instr Int64 Layout List Machine Program Reg Sonar_isa Sonar_uarch String

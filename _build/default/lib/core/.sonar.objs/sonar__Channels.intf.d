@@ -1,0 +1,1 @@
+lib/core/channels.mli: Detector Format Sonar_isa Sonar_uarch

@@ -1,0 +1,1 @@
+lib/core/corpus.ml: Hashtbl List Option Rng Testcase

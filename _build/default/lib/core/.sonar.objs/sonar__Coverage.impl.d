@@ -1,0 +1,1 @@
+lib/core/coverage.ml: Cpoint Executor Hashtbl List Machine Option Sonar_ir Sonar_uarch

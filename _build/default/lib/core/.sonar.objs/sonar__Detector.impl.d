@@ -1,0 +1,1 @@
+lib/core/detector.ml: Array Ccd Cpoint Executor Format List Machine Sonar_isa Sonar_uarch

@@ -1,0 +1,1 @@
+lib/core/detector.mli: Executor Format Sonar_isa

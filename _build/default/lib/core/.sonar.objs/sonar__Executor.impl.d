@@ -1,0 +1,1 @@
+lib/core/executor.ml: Cpoint Hashtbl List Machine Printf Sonar_uarch Testcase

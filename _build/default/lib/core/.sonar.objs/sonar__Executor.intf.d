@@ -1,0 +1,1 @@
+lib/core/executor.mli: Sonar_uarch Testcase

@@ -1,0 +1,1 @@
+lib/core/fuzzer.ml: Corpus Coverage Detector Executor List Mutation Rng Testcase

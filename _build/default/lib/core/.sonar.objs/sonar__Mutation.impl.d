@@ -1,0 +1,1 @@
+lib/core/mutation.ml: Instr List Rng Sonar_isa Testcase

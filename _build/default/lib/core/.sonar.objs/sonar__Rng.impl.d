@@ -1,0 +1,1 @@
+lib/core/rng.ml: Array Int64 List

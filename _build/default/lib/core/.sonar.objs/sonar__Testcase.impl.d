@@ -1,0 +1,1 @@
+lib/core/testcase.ml: Asm Format Instr Int64 Layout List Program Reg Rng Sonar_isa Sonar_uarch String

@@ -1,0 +1,1 @@
+lib/core/testcase.mli: Format Rng Sonar_isa Sonar_uarch

@@ -1,0 +1,60 @@
+open Sonar_uarch
+
+type aligned = {
+  position : int;
+  instr : Sonar_isa.Instr.t;
+  static_index : int;
+  cycle0 : int;
+  cycle1 : int;
+  ccd0 : int;
+  ccd1 : int;
+}
+
+let key (c : Core_model.commit_record) = c.c_eff.Sonar_isa.Golden.index
+
+let row a0 ~prev0 (b0 : Core_model.commit_record) ~prev1 (b1 : Core_model.commit_record)
+    =
+  {
+    position = a0;
+    instr = b0.c_eff.Sonar_isa.Golden.instr;
+    static_index = key b0;
+    cycle0 = b0.c_cycle;
+    cycle1 = b1.c_cycle;
+    ccd0 = b0.c_cycle - prev0;
+    ccd1 = b1.c_cycle - prev1;
+  }
+
+let align commits0 commits1 =
+  let a = Array.of_list commits0 in
+  let b = Array.of_list commits1 in
+  let na = Array.length a and nb = Array.length b in
+  (* Common head. *)
+  let head = ref 0 in
+  while !head < na && !head < nb && key a.(!head) = key b.(!head) do
+    incr head
+  done;
+  (* Common tail, not overlapping the head. *)
+  let tail = ref 0 in
+  while
+    !tail < na - !head
+    && !tail < nb - !head
+    && key a.(na - 1 - !tail) = key b.(nb - 1 - !tail)
+  do
+    incr tail
+  done;
+  let prev0 i = if i = 0 then 0 else a.(i - 1).c_cycle in
+  let prev1 i = if i = 0 then 0 else b.(i - 1).c_cycle in
+  let head_rows =
+    List.init !head (fun i -> row i ~prev0:(prev0 i) a.(i) ~prev1:(prev1 i) b.(i))
+  in
+  let tail_rows =
+    List.init !tail (fun j ->
+        let i = na - !tail + j and i' = nb - !tail + j in
+        row i ~prev0:(prev0 i) a.(i) ~prev1:(prev1 i') b.(i'))
+  in
+  let diverged = !head + !tail < max na nb in
+  (head_rows @ tail_rows, diverged)
+
+let ccd_affected rows = List.filter (fun r -> r.ccd0 <> r.ccd1) rows
+let timing_diff_count rows =
+  List.length (List.filter (fun r -> r.cycle0 <> r.cycle1) rows)

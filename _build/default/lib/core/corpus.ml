@@ -1,0 +1,103 @@
+type entry = {
+  tc : Testcase.t;
+  intervals : (string * int) list;
+}
+
+type t = {
+  mutable entries : entry list;  (* newest first *)
+  best : (string, int) Hashtbl.t;
+  attempts : (string, int) Hashtbl.t;
+      (* selections of a target since its best last improved; stuck targets
+         (e.g. structurally impossible pairs) lose selection weight *)
+  max_entries : int;
+}
+
+let create ?(max_entries = 256) () =
+  {
+    entries = [];
+    best = Hashtbl.create 64;
+    attempts = Hashtbl.create 64;
+    max_entries;
+  }
+
+let consider t tc ~intervals =
+  let improves =
+    List.exists
+      (fun (point, v) ->
+        match Hashtbl.find_opt t.best point with
+        | Some best -> v < best
+        | None -> true)
+      intervals
+  in
+  if improves then begin
+    List.iter
+      (fun (point, v) ->
+        match Hashtbl.find_opt t.best point with
+        | Some best when best <= v -> ()
+        | Some _ | None ->
+            Hashtbl.replace t.best point v;
+            Hashtbl.remove t.attempts point)
+      intervals;
+    t.entries <- { tc; intervals } :: t.entries;
+    if List.length t.entries > t.max_entries then begin
+      let rec take n = function
+        | [] -> []
+        | _ when n = 0 -> []
+        | x :: rest -> x :: take (n - 1) rest
+      in
+      t.entries <- take t.max_entries t.entries
+    end;
+    true
+  end
+  else false
+
+let select t rng =
+  (* Points with smaller non-zero best intervals are more likely to be
+     chosen (weighted sampling, §6.2.1 "more likely to be selected"). *)
+  let candidates =
+    Hashtbl.fold (fun point v acc -> if v > 0 then (point, v) :: acc else acc) t.best []
+    |> List.sort compare
+  in
+  let target =
+    match candidates with
+    | [] -> None
+    | _ ->
+        let weight (point, v) =
+          let stuck =
+            Option.value ~default:0 (Hashtbl.find_opt t.attempts point)
+          in
+          1. /. (float_of_int ((v * v) + 1) *. (1. +. (float_of_int stuck /. 8.)))
+        in
+        let total = List.fold_left (fun a c -> a +. weight c) 0. candidates in
+        let roll = float_of_int (Rng.int rng 1_000_000) /. 1_000_000. *. total in
+        let rec walk acc = function
+          | [ last ] -> Some last
+          | c :: rest -> if acc +. weight c >= roll then Some c else walk (acc +. weight c) rest
+          | [] -> None
+        in
+        walk 0. candidates
+  in
+  match target with
+  | None -> None
+  | Some (point, v) -> (
+      Hashtbl.replace t.attempts point
+        (1 + Option.value ~default:0 (Hashtbl.find_opt t.attempts point));
+      let achievers =
+        List.filter
+          (fun e ->
+            match List.assoc_opt point e.intervals with
+            | Some ev -> ev = v
+            | None -> false)
+          t.entries
+      in
+      match achievers with
+      | [] -> (
+          (* Fall back to any seed if bookkeeping and entries diverged
+             (e.g. after eviction). *)
+          match t.entries with
+          | [] -> None
+          | es -> Some (Rng.pick rng es, point))
+      | es -> Some (Rng.pick rng es, point))
+
+let best_interval t point = Hashtbl.find_opt t.best point
+let size t = List.length t.entries

@@ -1,0 +1,30 @@
+(** Seed corpus with interval-based retention and selection (§6.2.1).
+
+    A testcase is retained iff it lowers the smallest observed [reqsIntvl]
+    at {e some} contention point. Selection prefers the contention point
+    closest to, but not at, interval zero, and picks uniformly among the
+    retained testcases achieving that minimum there. *)
+
+type entry = {
+  tc : Testcase.t;
+  intervals : (string * int) list;  (** min pairwise interval per point *)
+}
+
+type t
+
+val create : ?max_entries:int -> unit -> t
+
+val consider : t -> Testcase.t -> intervals:(string * int) list -> bool
+(** Add the testcase if it improves any point's best interval; returns
+    whether it was retained. The oldest entries are evicted beyond
+    [max_entries]. *)
+
+val select : t -> Rng.t -> (entry * string) option
+(** A seed to mutate plus the target contention point (the one with the
+    smallest non-zero best interval). [None] while the corpus is empty or
+    every tracked point already reached zero. *)
+
+val best_interval : t -> string -> int option
+(** Best (smallest) interval recorded for a point so far. *)
+
+val size : t -> int

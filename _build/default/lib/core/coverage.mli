@@ -1,0 +1,34 @@
+(** Cumulative contention coverage with netlist-cluster weighting.
+
+    The paper observes that "a single contention event may involve multiple
+    data selections and thus map to several contention points" — the first
+    trigger of a source pair lights up a cluster of netlist MUX points at
+    once, after which further data classes (buckets) and storage sub-points
+    add smaller increments. A point's fanout budget is therefore split:
+
+    - 40% over its source pairs (paid once per newly triggered pair);
+    - 30% over (pair × data-bucket) combinations;
+    - 30% over persistent sub-points (when the point declares any;
+      otherwise folded into the first two shares).
+
+    One instance accumulates across a whole campaign; both the Sonar loop
+    and the baseline fuzzers share this accounting, so Figure 8/10/11
+    series are directly comparable. *)
+
+type t
+
+val create : unit -> t
+
+val add_pair : t -> Executor.pair -> float
+(** Absorb both runs of an executed testcase; returns the {e new} coverage
+    weight this testcase contributed. *)
+
+val total : t -> float
+
+val distinct_subs : t -> int
+(** Distinct (point, kind, sub) triples triggered so far. *)
+
+val single_valid_weight : t -> float
+(** Share of {!total} located at single-valid points (Figure 9). *)
+
+val per_component : t -> (Sonar_ir.Component.t * float) list

@@ -1,0 +1,72 @@
+open Sonar_uarch
+
+type finding = {
+  core : int;
+  position : int;
+  instr : Sonar_isa.Instr.t;
+  static_index : int;
+  ccd0 : int;
+  ccd1 : int;
+  commit_delta : int;
+}
+
+type report = {
+  findings : finding list;
+  raw_timing_diffs : int;
+  state_diffs : (string * string) list;
+  diverged : bool;
+  total_delta : int;
+}
+
+let detect (pair : Executor.pair) =
+  let n_cores = Array.length pair.run0.Machine.cores in
+  let findings = ref [] in
+  let raw = ref 0 in
+  let diverged = ref false in
+  for core = 0 to n_cores - 1 do
+    let rows, d =
+      Ccd.align pair.run0.Machine.cores.(core).commits
+        pair.run1.Machine.cores.(core).commits
+    in
+    diverged := !diverged || d;
+    raw := !raw + Ccd.timing_diff_count rows;
+    List.iter
+      (fun (r : Ccd.aligned) ->
+        findings :=
+          {
+            core;
+            position = r.position;
+            instr = r.instr;
+            static_index = r.static_index;
+            ccd0 = r.ccd0;
+            ccd1 = r.ccd1;
+            commit_delta = r.cycle1 - r.cycle0;
+          }
+          :: !findings)
+      (Ccd.ccd_affected rows)
+  done;
+  {
+    findings = List.rev !findings;
+    raw_timing_diffs = !raw;
+    state_diffs =
+      Cpoint.diff_snapshots pair.run0.Machine.snapshots pair.run1.Machine.snapshots;
+    diverged = !diverged;
+    total_delta = pair.run1.Machine.cycles - pair.run0.Machine.cycles;
+  }
+
+let pp_report fmt r =
+  Format.fprintf fmt
+    "@[<v>CCD-affected instructions: %d (raw timing diffs %d, run-length delta %d%s)@,"
+    (List.length r.findings) r.raw_timing_diffs r.total_delta
+    (if r.diverged then ", traces diverged" else "");
+  List.iter
+    (fun f ->
+      Format.fprintf fmt "  core%d @%d %a: CCD %d -> %d (commit %+d)@," f.core
+        f.position Sonar_isa.Instr.pp f.instr f.ccd0 f.ccd1 f.commit_delta)
+    r.findings;
+  Format.fprintf fmt "contention-state discrepancies: %d@,"
+    (List.length r.state_diffs);
+  List.iter
+    (fun (p, d) -> Format.fprintf fmt "  %s: %s@," p d)
+    r.state_diffs;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,70 @@
+open Sonar_uarch
+
+type pair = {
+  run0 : Machine.result;
+  run1 : Machine.result;
+}
+
+let run_pair ?max_cycles cfg build =
+  {
+    run0 = Machine.run ?max_cycles cfg (build ~secret:0);
+    run1 = Machine.run ?max_cycles cfg (build ~secret:1);
+  }
+
+let execute ?max_cycles cfg tc =
+  run_pair ?max_cycles cfg (fun ~secret -> Testcase.materialize tc ~secret)
+
+let min_opt a b =
+  match (a, b) with
+  | Some x, Some y -> Some (min x y)
+  | (Some _ as s), None | None, (Some _ as s) -> s
+  | None, None -> None
+
+let min_intervals pair =
+  (* Keys are per source pair: "<point>/<pair-id>". *)
+  let table = Hashtbl.create 64 in
+  let absorb (r : Machine.result) =
+    List.iter
+      (fun (ps : Machine.point_stat) ->
+        List.iter
+          (fun (pair_id, v) ->
+            let key = Printf.sprintf "%s/%d" ps.ps_name pair_id in
+            match min_opt (Hashtbl.find_opt table key) (Some v) with
+            | Some v -> Hashtbl.replace table key v
+            | None -> ())
+          ps.ps_pair_intervals)
+      r.point_stats
+  in
+  absorb pair.run0;
+  absorb pair.run1;
+  Hashtbl.fold (fun name v acc -> (name, v) :: acc) table [] |> List.sort compare
+
+let triggered pair =
+  let table = Hashtbl.create 64 in
+  let absorb (r : Machine.result) =
+    List.iter
+      (fun (ps : Machine.point_stat) ->
+        let w = float_of_int ps.ps_fanout /. float_of_int ps.ps_max_subs in
+        List.iter
+          (fun (kind, sub) ->
+            Hashtbl.replace table (ps.ps_name, kind, sub) w)
+          ps.ps_triggered)
+      r.point_stats
+  in
+  absorb pair.run0;
+  absorb pair.run1;
+  Hashtbl.fold (fun k w acc -> (k, w) :: acc) table [] |> List.sort compare
+
+let single_valid_share pair =
+  let single = Hashtbl.create 32 in
+  List.iter
+    (fun (ps : Machine.point_stat) ->
+      if ps.ps_single_valid then Hashtbl.replace single ps.ps_name ())
+    pair.run0.point_stats;
+  let total = ref 0. and sv = ref 0. in
+  List.iter
+    (fun (((name, _, _) : string * Cpoint.kind * int), w) ->
+      total := !total +. w;
+      if Hashtbl.mem single name then sv := !sv +. w)
+    (triggered pair);
+  if !total = 0. then 0. else !sv /. !total

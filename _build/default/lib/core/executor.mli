@@ -1,0 +1,33 @@
+(** Testcase execution: one run per secret value, on a fresh machine.
+
+    Runs are cold-started and deterministic, so every timing difference
+    between the two runs is caused by the secret — the differential setting
+    the detector (§7) assumes. *)
+
+type pair = {
+  run0 : Sonar_uarch.Machine.result;  (** secret = 0 *)
+  run1 : Sonar_uarch.Machine.result;  (** secret = 1 *)
+}
+
+val run_pair :
+  ?max_cycles:int ->
+  Sonar_uarch.Config.t ->
+  (secret:int -> Sonar_uarch.Machine.core_input array) ->
+  pair
+(** Low-level entry used both by the fuzzer (via {!execute}) and by the
+    hand-built channel scenarios. *)
+
+val execute :
+  ?max_cycles:int -> Sonar_uarch.Config.t -> Testcase.t -> pair
+
+val min_intervals : pair -> (string * int) list
+(** Per contention point, the smaller of the two runs' minimum pairwise
+    [reqsIntvl] (points that never saw two sources are absent). *)
+
+val triggered : pair -> ((string * Sonar_uarch.Cpoint.kind * int) * float) list
+(** Union over both runs of triggered sub-points, with the netlist weight
+    ([fanout / max_subs]) each contributes to contention coverage. *)
+
+val single_valid_share : pair -> float
+(** Fraction of this pair's triggered weight located at single-valid points
+    (Figure 9's dominance metric). *)

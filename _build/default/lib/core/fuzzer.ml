@@ -1,0 +1,116 @@
+type strategy = {
+  retention : bool;
+  selection : bool;
+  directed_mutation : bool;
+}
+
+let full_strategy = { retention = true; selection = true; directed_mutation = true }
+let random_strategy = { retention = false; selection = false; directed_mutation = false }
+
+type series_point = {
+  iteration : int;
+  coverage : float;
+  timing_diffs : int;
+  corpus_size : int;
+}
+
+type outcome = {
+  series : series_point list;
+  final_coverage : float;
+  final_timing_diffs : int;
+  testcases_with_diffs : int;
+  contentions_triggered_testcases : int;
+  single_valid_share_first20 : float;
+  reports : (int * Detector.report) list;
+}
+
+let run ?(seed = 1L) ?(dual = false) ?max_cycles cfg strategy ~iterations =
+  let rng = Rng.create seed in
+  let corpus = Corpus.create () in
+  let mstate = Mutation.create_state () in
+  let coverage = Coverage.create () in
+  let timing_diffs = ref 0 in
+  let tcs_with_diffs = ref 0 in
+  let tcs_with_contention = ref 0 in
+  let series = ref [] in
+  let reports = ref [] in
+  let sv_weight_20 = ref 0. and total_weight_20 = ref 0. in
+  (* Pending directed-mutation feedback: target point and its pre-mutation
+     best interval. *)
+  let pending_target = ref None in
+  for iteration = 1 to iterations do
+    let tc =
+      let fresh () = Testcase.random rng ~id:iteration ~dual in
+      if strategy.selection then begin
+        match Corpus.select corpus rng with
+        | Some (entry, point) when Rng.chance rng 0.75 ->
+            pending_target :=
+              Some (point, Corpus.best_interval corpus point);
+            Mutation.mutate rng mstate
+              ~directed_enabled:strategy.directed_mutation entry.tc
+        | Some _ | None ->
+            pending_target := None;
+            fresh ()
+      end
+      else if strategy.retention && Corpus.size corpus > 0 && Rng.chance rng 0.8
+      then begin
+        (* Retention without selection: mutate a random seed. *)
+        pending_target := None;
+        match Corpus.select corpus rng with
+        | Some (entry, _) ->
+            Mutation.mutate rng mstate
+              ~directed_enabled:strategy.directed_mutation entry.tc
+        | None -> fresh ()
+      end
+      else begin
+        pending_target := None;
+        fresh ()
+      end
+    in
+    let pair = Executor.execute ?max_cycles cfg tc in
+    let intervals = Executor.min_intervals pair in
+    let added = Coverage.add_pair coverage pair in
+    if added > 0. then incr tcs_with_contention;
+    if iteration = 20 then begin
+      total_weight_20 := Coverage.total coverage;
+      sv_weight_20 := Coverage.single_valid_weight coverage *. !total_weight_20
+    end;
+    let report = Detector.detect pair in
+    let n_findings = List.length report.Detector.findings in
+    if n_findings > 0 then begin
+      timing_diffs := !timing_diffs + n_findings;
+      incr tcs_with_diffs;
+      reports := (iteration, report) :: !reports
+    end;
+    (* Directed-mutation feedback: did the target interval shrink? *)
+    (match !pending_target with
+    | Some (point, before) ->
+        let after = List.assoc_opt point intervals in
+        let improved =
+          match (before, after) with
+          | Some b, Some a -> a < b
+          | None, Some _ -> true
+          | _, None -> false
+        in
+        Mutation.feedback mstate ~improved
+    | None -> ());
+    if strategy.retention then ignore (Corpus.consider corpus tc ~intervals);
+    series :=
+      {
+        iteration;
+        coverage = Coverage.total coverage;
+        timing_diffs = !timing_diffs;
+        corpus_size = Corpus.size corpus;
+      }
+      :: !series
+  done;
+  {
+    series = List.rev !series;
+    final_coverage = Coverage.total coverage;
+    final_timing_diffs = !timing_diffs;
+    testcases_with_diffs = !tcs_with_diffs;
+    contentions_triggered_testcases = !tcs_with_contention;
+    single_valid_share_first20 =
+      (if !total_weight_20 = 0. then 0. else !sv_weight_20 /. !total_weight_20);
+    reports = List.rev !reports;
+  }

@@ -1,0 +1,53 @@
+(** The Sonar fuzzing loop (§6) and its campaign statistics.
+
+    Each iteration generates or mutates a testcase, executes it under both
+    secret values, feeds contention intervals back into the corpus, and
+    accumulates:
+
+    - {e contention coverage}: the netlist-weighted set of triggered
+      contention sub-points (Figure 8 top);
+    - {e timing differences}: CCD findings that reflect the secret
+      (Figure 8 bottom);
+    - per-iteration series for plotting, and the detector reports of every
+      finding-bearing testcase.
+
+    The strategy record switches retention / selection / directed mutation
+    independently (the Figure 10 breakdown). All-off is the random-testing
+    baseline the paper compares against. *)
+
+type strategy = {
+  retention : bool;
+  selection : bool;
+  directed_mutation : bool;
+}
+
+val full_strategy : strategy
+val random_strategy : strategy
+
+type series_point = {
+  iteration : int;
+  coverage : float;  (** cumulative triggered contention points (weighted) *)
+  timing_diffs : int;  (** cumulative secret-reflecting CCD findings *)
+  corpus_size : int;
+}
+
+type outcome = {
+  series : series_point list;  (** one per iteration, in order *)
+  final_coverage : float;
+  final_timing_diffs : int;
+  testcases_with_diffs : int;
+  contentions_triggered_testcases : int;
+      (** testcases that triggered at least one contention *)
+  single_valid_share_first20 : float;  (** Figure 9's dominance measure *)
+  reports : (int * Detector.report) list;
+      (** (iteration, report) for every testcase with CCD findings *)
+}
+
+val run :
+  ?seed:int64 ->
+  ?dual:bool ->
+  ?max_cycles:int ->
+  Sonar_uarch.Config.t ->
+  strategy ->
+  iterations:int ->
+  outcome

@@ -1,0 +1,126 @@
+open Sonar_isa
+
+type direction = Grow | Shrink
+type state = { mutable dir : direction }
+
+let create_state () = { dir = Shrink }
+
+let adjust_chain rng dir (tc : Testcase.t) =
+  if tc.chains = [] then tc
+  else begin
+    let idx = Rng.int rng (List.length tc.chains) in
+    let step = 1 + Rng.int rng 2 in
+    let chains =
+      List.mapi
+        (fun i (c : Testcase.chain) ->
+          if i = idx then
+            let length =
+              match dir with
+              | Grow -> min 64 (c.length + step)
+              | Shrink -> max 0 (c.length - step)
+            in
+            { c with length }
+          else c)
+        tc.chains
+    in
+    { tc with chains }
+  end
+
+let directed rng state tc = adjust_chain rng state.dir tc
+
+let feedback state ~improved =
+  if not improved then
+    state.dir <- (match state.dir with Grow -> Shrink | Shrink -> Grow)
+
+(* --- Random edits over the prefix/suffix regions --- *)
+
+(* Insert-biased: retained seeds grow richer across generations (up to a
+   cap), compounding the in-flight contention mass guided fuzzing builds. *)
+let max_region_len = 96
+
+let edit_region rng region =
+  let roll = Rng.int rng 100 in
+  if roll < 45 && List.length region < max_region_len then begin
+    (* Insert at a random position. *)
+    let pos = Rng.int rng (List.length region + 1) in
+    let rec go i = function
+      | rest when i = pos -> Testcase.random_instr rng @ rest
+      | [] -> Testcase.random_instr rng
+      | x :: rest -> x :: go (i + 1) rest
+    in
+    go 0 region
+  end
+  else if roll < 60 && region <> [] then begin
+    (* Delete one instruction. *)
+    let pos = Rng.int rng (List.length region) in
+    List.filteri (fun i _ -> i <> pos) region
+  end
+  else if region <> [] then begin
+    (* Replace one instruction. *)
+    let pos = Rng.int rng (List.length region) in
+    List.concat
+      (List.mapi
+         (fun i x -> if i = pos then Testcase.random_instr rng else [ x ])
+         region)
+  end
+  else Testcase.random_instr rng
+
+let random_edit rng (tc : Testcase.t) =
+  if Rng.bool rng then { tc with prefix = edit_region rng tc.prefix }
+  else { tc with suffix = edit_region rng tc.suffix }
+
+(* --- Data-similarity mutation --- *)
+
+let mem_offsets region =
+  List.filteri
+    (fun _ i -> match i with Instr.Load _ | Instr.Store _ -> true | _ -> false)
+    region
+
+let set_offset instr off =
+  match instr with
+  | Instr.Load (op, rd, base, _) -> Instr.Load (op, rd, base, off)
+  | Instr.Store (op, data, base, _) -> Instr.Store (op, data, base, off)
+  | other -> other
+
+let similar_offset rng off =
+  match Rng.int rng 3 with
+  | 0 -> off  (* same word: same set, and same line when bases agree *)
+  | 1 -> off land lnot 63  (* same cache line start *)
+  | _ -> (off land lnot 63) + (64 * (Rng.int rng 3 - 1))  (* adjacent set *)
+
+let enhance_similarity rng (tc : Testcase.t) =
+  let region, set_region =
+    if Rng.bool rng then (tc.prefix, fun p -> { tc with prefix = p })
+    else (tc.suffix, fun s -> { tc with suffix = s })
+  in
+  let mems = mem_offsets region in
+  if List.length mems < 2 then tc
+  else begin
+    let donor = Rng.pick rng mems in
+    let donor_off =
+      match donor with
+      | Instr.Load (_, _, _, o) | Instr.Store (_, _, _, o) -> o
+      | _ -> 0
+    in
+    let target_pos =
+      let mem_positions =
+        List.filteri (fun _ _ -> true) region
+        |> List.mapi (fun i x -> (i, x))
+        |> List.filter (fun (_, x) ->
+               match x with Instr.Load _ | Instr.Store _ -> true | _ -> false)
+        |> List.map fst
+      in
+      Rng.pick rng mem_positions
+    in
+    (* Offsets stay within one 4 KiB base window (see Testcase.data_bases). *)
+    let new_off = max 0 (min 4088 (similar_offset rng donor_off)) in
+    set_region
+      (List.mapi
+         (fun i x -> if i = target_pos then set_offset x new_off else x)
+         region)
+  end
+
+let mutate rng state ~directed_enabled tc =
+  let tc = if directed_enabled then directed rng state tc else random_edit rng tc in
+  let tc = if Rng.chance rng 0.6 then random_edit rng tc else tc in
+  if Rng.chance rng 0.25 then enhance_similarity rng tc else tc

@@ -1,0 +1,34 @@
+(** Testcase mutation operators (§6.2).
+
+    {b Adaptive directed mutation}: grow or shrink a dependency chain's head
+    by one or two instructions. The mutation state remembers the last
+    direction; {!feedback} keeps it when the previous mutation reduced the
+    target interval and flips it otherwise — the paper's convergence
+    accelerator for [reqsIntvl].
+
+    {b Data-similarity mutation}: pick two memory instructions in the random
+    regions and align their address offsets (same 8-byte word, same cache
+    line, or same cache set) — the condition persistent contentions need.
+
+    {b Random mutation}: insert/delete/replace a random-region instruction
+    (the undirected baseline that every fuzzer has). *)
+
+type direction = Grow | Shrink
+
+type state = { mutable dir : direction }
+
+val create_state : unit -> state
+
+val directed : Rng.t -> state -> Testcase.t -> Testcase.t
+(** Adjust a random chain's length along the current direction (clamped to
+    [0, 64]). *)
+
+val feedback : state -> improved:bool -> unit
+
+val random_edit : Rng.t -> Testcase.t -> Testcase.t
+val enhance_similarity : Rng.t -> Testcase.t -> Testcase.t
+
+val mutate :
+  Rng.t -> state -> directed_enabled:bool -> Testcase.t -> Testcase.t
+(** The fuzzer's composite mutation: directed chain adjustment (when
+    enabled) plus occasionally a random edit or a similarity boost. *)

@@ -1,0 +1,22 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    Fuzzing campaigns must be reproducible: every random decision flows from
+    one seed through this generator, never from [Stdlib.Random] global
+    state. [split] derives an independent stream (e.g. one per testcase). *)
+
+type t
+
+val create : int64 -> t
+val split : t -> t
+val int64 : t -> int64
+val int : t -> int -> int
+(** [int t n]: uniform in [0, n); n must be positive. *)
+
+val bool : t -> bool
+val chance : t -> float -> bool
+(** [chance t p]: true with probability [p]. *)
+
+val pick : t -> 'a list -> 'a
+(** @raise Invalid_argument on an empty list. *)
+
+val shuffle : t -> 'a list -> 'a list

@@ -1,0 +1,1 @@
+lib/dut/binding.ml: Component Hashtbl List Option Sonar_ir Sonar_uarch String

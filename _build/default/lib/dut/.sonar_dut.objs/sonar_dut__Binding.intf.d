@@ -1,0 +1,1 @@
+lib/dut/binding.mli: Sonar_ir Sonar_uarch

@@ -1,0 +1,1 @@
+lib/dut/netlist_gen.ml: Binding Circuit Component Expr Float Fmodule Hashtbl Int64 List Option Printf Sonar_ir Sonar_uarch Stmt String

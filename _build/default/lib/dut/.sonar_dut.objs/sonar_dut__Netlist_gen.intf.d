@@ -1,0 +1,1 @@
+lib/dut/netlist_gen.mli: Sonar_ir Sonar_uarch

@@ -1,0 +1,40 @@
+open Sonar_ir
+
+let strip_core_prefix name =
+  if String.length name > 3 && name.[0] = 'c' && String.contains name '.' then
+    let dot = String.index name '.' in
+    if
+      dot >= 2
+      && String.for_all (fun ch -> ch >= '0' && ch <= '9') (String.sub name 1 (dot - 1))
+    then String.sub name (dot + 1) (String.length name - dot - 1)
+    else name
+  else name
+
+let component_of_point name =
+  let name = strip_core_prefix name in
+  let prefix =
+    match String.index_opt name '.' with
+    | Some i -> String.sub name 0 i
+    | None -> name
+  in
+  match prefix with
+  | "frontend" | "icache" | "bpd" -> Component.Frontend
+  | "rob" -> Component.Rob
+  | "lsu" | "mshr" | "linebuffer" | "dcache" | "stq" -> Component.Lsu
+  | "exec" | "mdu" -> Component.Exec
+  | "tilelink" | "bus" | "l2" -> Component.Bus
+  | _ -> Component.Other
+
+let bindings (cfg : Sonar_uarch.Config.t) =
+  List.map (fun (name, fanout) -> (name, component_of_point name, fanout)) cfg.fanout
+
+let monitored_per_component cfg =
+  let sums = Hashtbl.create 8 in
+  List.iter
+    (fun (_, comp, fanout) ->
+      let cur = Option.value ~default:0 (Hashtbl.find_opt sums comp) in
+      Hashtbl.replace sums comp (cur + fanout))
+    (bindings cfg);
+  List.map
+    (fun comp -> (comp, Option.value ~default:0 (Hashtbl.find_opt sums comp)))
+    Component.all

@@ -1,0 +1,1 @@
+lib/ir/analysis.ml: Circuit Component Const_filter Format List Mux_tree

@@ -1,0 +1,1 @@
+lib/ir/analysis.mli: Circuit Component Const_filter Format

@@ -1,0 +1,1 @@
+lib/ir/circuit.ml: Fmodule Format List String

@@ -1,0 +1,1 @@
+lib/ir/component.ml: Format Stdlib

@@ -1,0 +1,1 @@
+lib/ir/component.mli: Format

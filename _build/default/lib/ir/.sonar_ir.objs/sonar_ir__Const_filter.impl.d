@@ -1,0 +1,1 @@
+lib/ir/const_filter.ml: List Mux_tree Validity

@@ -1,0 +1,1 @@
+lib/ir/const_filter.mli: Fmodule Mux_tree Validity

@@ -1,0 +1,1 @@
+lib/ir/expr.ml: Format Hashtbl Int64 List Printf String

@@ -1,0 +1,1 @@
+lib/ir/fmodule.ml: Component Format Hashtbl List Option Stmt String

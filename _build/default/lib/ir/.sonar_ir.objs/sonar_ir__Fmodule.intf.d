@@ -1,0 +1,1 @@
+lib/ir/fmodule.mli: Component Expr Format Hashtbl Stmt

@@ -1,0 +1,1 @@
+lib/ir/instrument.ml: Circuit Const_filter Expr Fmodule List Mux_tree Printf Stmt Validity

@@ -1,0 +1,1 @@
+lib/ir/lexer.ml: Format Int64 List Printf String

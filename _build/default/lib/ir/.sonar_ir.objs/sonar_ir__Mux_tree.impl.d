@@ -1,0 +1,1 @@
+lib/ir/mux_tree.ml: Component Expr Fmodule Format Hashtbl List Printf Stmt

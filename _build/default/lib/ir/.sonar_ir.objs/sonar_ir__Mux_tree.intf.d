@@ -1,0 +1,1 @@
+lib/ir/mux_tree.mli: Component Expr Fmodule Format

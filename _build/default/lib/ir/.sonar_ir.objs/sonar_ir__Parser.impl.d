@@ -1,0 +1,1 @@
+lib/ir/parser.ml: Circuit Component Expr Fmodule Format Int64 Lexer List Printf Stmt String

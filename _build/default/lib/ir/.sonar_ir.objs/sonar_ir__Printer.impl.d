@@ -1,0 +1,1 @@
+lib/ir/printer.ml: Buffer Circuit Expr Fmodule Format Stmt

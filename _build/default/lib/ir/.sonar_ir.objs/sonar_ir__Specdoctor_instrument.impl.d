@@ -1,0 +1,1 @@
+lib/ir/specdoctor_instrument.ml: Circuit Expr Fmodule List Printf Stmt

@@ -1,0 +1,1 @@
+lib/ir/specdoctor_instrument.mli: Circuit Fmodule

@@ -1,0 +1,1 @@
+lib/ir/validity.ml: Expr Fmodule Format Hashtbl List String

@@ -1,0 +1,1 @@
+lib/ir/validity.mli: Expr Fmodule Format

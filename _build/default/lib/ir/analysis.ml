@@ -1,0 +1,69 @@
+type component_stats = {
+  component : Component.t;
+  identified : int;
+  monitored : int;
+}
+
+type summary = {
+  circuit_name : string;
+  naive_mux_points : int;
+  identified_points : int;
+  monitored_points : int;
+  per_component : component_stats list;
+  reduction_vs_naive : float;
+  reduction_by_filter : float;
+}
+
+let classified_of_circuit (c : Circuit.t) =
+  List.concat_map Const_filter.classify_module c.modules
+
+let summarize (c : Circuit.t) =
+  let naive =
+    List.fold_left (fun acc m -> acc + Mux_tree.naive_mux_count m) 0 c.modules
+  in
+  let classified = classified_of_circuit c in
+  let identified = List.length classified in
+  let monitored = List.length (Const_filter.monitored classified) in
+  let per_component =
+    List.map
+      (fun component ->
+        let here =
+          List.filter
+            (fun (cl : Const_filter.classified) ->
+              Component.equal cl.point.Mux_tree.component component)
+            classified
+        in
+        {
+          component;
+          identified = List.length here;
+          monitored = List.length (Const_filter.monitored here);
+        })
+      Component.all
+  in
+  let frac removed total = if total = 0 then 0. else float_of_int removed /. float_of_int total in
+  {
+    circuit_name = c.name;
+    naive_mux_points = naive;
+    identified_points = identified;
+    monitored_points = monitored;
+    per_component;
+    reduction_vs_naive = frac (naive - identified) naive;
+    reduction_by_filter = frac (identified - monitored) identified;
+  }
+
+let pp_summary fmt s =
+  Format.fprintf fmt
+    "@[<v>circuit %s:@,\
+     naive 2:1-MUX points: %d@,\
+     bottom-up contention points: %d (%.1f%% reduction)@,\
+     monitored after filtering: %d (%.1f%% reduction)@,\
+     per component:@,%a@]"
+    s.circuit_name s.naive_mux_points s.identified_points
+    (100. *. s.reduction_vs_naive)
+    s.monitored_points
+    (100. *. s.reduction_by_filter)
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut (fun fmt cs ->
+         Format.fprintf fmt "  %-9s identified %6d  monitored %6d"
+           (Component.to_string cs.component)
+           cs.identified cs.monitored))
+    s.per_component

@@ -1,0 +1,25 @@
+(** End-to-end static analysis driver: identification, filtering, and
+    per-component aggregation over a whole circuit (Figures 6 and 7). *)
+
+type component_stats = {
+  component : Component.t;
+  identified : int;  (** contention points found by bottom-up tracing *)
+  monitored : int;  (** points surviving the constant-state filter *)
+}
+
+type summary = {
+  circuit_name : string;
+  naive_mux_points : int;
+      (** every 2:1 MUX counted as a point (Figure 6's baseline) *)
+  identified_points : int;  (** bottom-up traced contention points *)
+  monitored_points : int;  (** after filtering states without risk *)
+  per_component : component_stats list;
+  reduction_vs_naive : float;  (** fraction removed by bottom-up tracing *)
+  reduction_by_filter : float;  (** fraction removed by the §5.2 filter *)
+}
+
+val classified_of_circuit : Circuit.t -> Const_filter.classified list
+(** Classified contention points of every module, in module order. *)
+
+val summarize : Circuit.t -> summary
+val pp_summary : Format.formatter -> summary -> unit

@@ -1,0 +1,30 @@
+type t =
+  | Frontend
+  | Rob
+  | Lsu
+  | Exec
+  | Bus
+  | Other
+
+let all = [ Frontend; Rob; Lsu; Exec; Bus; Other ]
+
+let to_string = function
+  | Frontend -> "frontend"
+  | Rob -> "rob"
+  | Lsu -> "lsu"
+  | Exec -> "exec"
+  | Bus -> "bus"
+  | Other -> "other"
+
+let of_string = function
+  | "frontend" -> Some Frontend
+  | "rob" -> Some Rob
+  | "lsu" -> Some Lsu
+  | "exec" -> Some Exec
+  | "bus" -> Some Bus
+  | "other" -> Some Other
+  | _ -> None
+
+let pp fmt c = Format.pp_print_string fmt (to_string c)
+let equal a b = a = b
+let compare = Stdlib.compare

@@ -1,0 +1,28 @@
+(** Coarse processor-component classification of circuit modules.
+
+    The paper's Figure 7 reports contention points grouped by the pipeline
+    component the enclosing module belongs to (frontend, ROB, LSU, execution,
+    peripheral bus, other). Netlist generators tag every module with one of
+    these, and the analyses aggregate per component. *)
+
+type t =
+  | Frontend
+  | Rob
+  | Lsu
+  | Exec
+  | Bus
+  | Other
+
+val all : t list
+(** Every component, in the order used by reports. *)
+
+val to_string : t -> string
+
+val of_string : string -> t option
+(** Inverse of {!to_string}; [None] for unknown tags. *)
+
+val pp : Format.formatter -> t -> unit
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int

@@ -1,0 +1,71 @@
+type token =
+  | Ident of string
+  | Int of int64
+  | Colon
+  | Comma
+  | Equals
+  | Lparen
+  | Rparen
+  | Langle
+  | Rangle
+  | Lbracket
+  | Rbracket
+  | Eof
+
+exception Error of string
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9') || c = '.'
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize input =
+  let n = String.length input in
+  let rec skip_line i = if i < n && input.[i] <> '\n' then skip_line (i + 1) else i in
+  let rec go i acc =
+    if i >= n then List.rev (Eof :: acc)
+    else
+      match input.[i] with
+      | ' ' | '\t' | '\n' | '\r' -> go (i + 1) acc
+      | ';' -> go (skip_line i) acc
+      | ':' -> go (i + 1) (Colon :: acc)
+      | ',' -> go (i + 1) (Comma :: acc)
+      | '=' -> go (i + 1) (Equals :: acc)
+      | '(' -> go (i + 1) (Lparen :: acc)
+      | ')' -> go (i + 1) (Rparen :: acc)
+      | '<' -> go (i + 1) (Langle :: acc)
+      | '>' -> go (i + 1) (Rangle :: acc)
+      | '[' -> go (i + 1) (Lbracket :: acc)
+      | ']' -> go (i + 1) (Rbracket :: acc)
+      | c when is_digit c ->
+          let j = ref i in
+          while !j < n && is_digit input.[!j] do
+            incr j
+          done;
+          let text = String.sub input i (!j - i) in
+          go !j (Int (Int64.of_string text) :: acc)
+      | c when is_ident_start c ->
+          let j = ref i in
+          while !j < n && is_ident_char input.[!j] do
+            incr j
+          done;
+          let text = String.sub input i (!j - i) in
+          go !j (Ident text :: acc)
+      | c -> raise (Error (Printf.sprintf "unexpected character %C at offset %d" c i))
+  in
+  go 0 []
+
+let pp_token fmt = function
+  | Ident s -> Format.fprintf fmt "ident %s" s
+  | Int v -> Format.fprintf fmt "int %Ld" v
+  | Colon -> Format.pp_print_string fmt ":"
+  | Comma -> Format.pp_print_string fmt ","
+  | Equals -> Format.pp_print_string fmt "="
+  | Lparen -> Format.pp_print_string fmt "("
+  | Rparen -> Format.pp_print_string fmt ")"
+  | Langle -> Format.pp_print_string fmt "<"
+  | Rangle -> Format.pp_print_string fmt ">"
+  | Lbracket -> Format.pp_print_string fmt "["
+  | Rbracket -> Format.pp_print_string fmt "]"
+  | Eof -> Format.pp_print_string fmt "<eof>"

@@ -1,0 +1,27 @@
+(** Tokenizer for the textual circuit format.
+
+    The format is whitespace-insensitive: statements are recognised by their
+    leading keyword, so no indentation tracking is required. Comments run
+    from [;] to end of line. *)
+
+type token =
+  | Ident of string
+  | Int of int64
+  | Colon
+  | Comma
+  | Equals
+  | Lparen
+  | Rparen
+  | Langle
+  | Rangle
+  | Lbracket
+  | Rbracket
+  | Eof
+
+exception Error of string
+(** Raised on an unexpected character; the message includes the position. *)
+
+val tokenize : string -> token list
+(** Tokenize a full input. @raise Error on invalid input. *)
+
+val pp_token : Format.formatter -> token -> unit

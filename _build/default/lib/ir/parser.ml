@@ -1,0 +1,233 @@
+exception Error of string
+
+type state = { mutable tokens : Lexer.token list }
+
+let fail msg = raise (Error msg)
+
+let peek st = match st.tokens with [] -> Lexer.Eof | t :: _ -> t
+
+let advance st =
+  match st.tokens with [] -> () | _ :: rest -> st.tokens <- rest
+
+let token_str t = Format.asprintf "%a" Lexer.pp_token t
+
+let expect st tok what =
+  let got = peek st in
+  if got = tok then advance st
+  else fail (Printf.sprintf "expected %s, got %s" what (token_str got))
+
+let expect_ident st what =
+  match peek st with
+  | Lexer.Ident s ->
+      advance st;
+      s
+  | t -> fail (Printf.sprintf "expected %s (identifier), got %s" what (token_str t))
+
+let expect_int st what =
+  match peek st with
+  | Lexer.Int v ->
+      advance st;
+      v
+  | t -> fail (Printf.sprintf "expected %s (integer), got %s" what (token_str t))
+
+let expect_keyword st kw =
+  match peek st with
+  | Lexer.Ident s when String.equal s kw -> advance st
+  | t -> fail (Printf.sprintf "expected keyword %s, got %s" kw (token_str t))
+
+(* "shl" -> needs one static int parameter, etc. *)
+let primop_of_name name params =
+  let open Expr in
+  match (name, params) with
+  | "add", [] -> Some Add
+  | "sub", [] -> Some Sub
+  | "and", [] -> Some And
+  | "or", [] -> Some Or
+  | "xor", [] -> Some Xor
+  | "not", [] -> Some Not
+  | "eq", [] -> Some Eq
+  | "neq", [] -> Some Neq
+  | "lt", [] -> Some Lt
+  | "leq", [] -> Some Leq
+  | "gt", [] -> Some Gt
+  | "geq", [] -> Some Geq
+  | "cat", [] -> Some Cat
+  | "shl", [ n ] -> Some (Shl n)
+  | "shr", [ n ] -> Some (Shr n)
+  | "pad", [ n ] -> Some (Pad n)
+  | "bits", [ hi; lo ] -> Some (Bits (hi, lo))
+  | _ -> None
+
+let parse_type st =
+  expect_keyword st "UInt";
+  expect st Lexer.Langle "<";
+  let w = Int64.to_int (expect_int st "width") in
+  expect st Lexer.Rangle ">";
+  w
+
+let rec parse_expr_st st =
+  match peek st with
+  | Lexer.Int _ -> fail "bare integers are not expressions; use UInt<w>(v)"
+  | Lexer.Ident "mux" ->
+      advance st;
+      expect st Lexer.Lparen "(";
+      let sel = parse_expr_st st in
+      expect st Lexer.Comma ",";
+      let tval = parse_expr_st st in
+      expect st Lexer.Comma ",";
+      let fval = parse_expr_st st in
+      expect st Lexer.Rparen ")";
+      Expr.mux sel tval fval
+  | Lexer.Ident "UInt" ->
+      advance st;
+      expect st Lexer.Langle "<";
+      let w = Int64.to_int (expect_int st "width") in
+      expect st Lexer.Rangle ">";
+      expect st Lexer.Lparen "(";
+      let v = expect_int st "literal value" in
+      expect st Lexer.Rparen ")";
+      Expr.lit ~width:w v
+  | Lexer.Ident name -> (
+      advance st;
+      (* Either a primop application or a plain reference. *)
+      let params =
+        if peek st = Lexer.Langle then begin
+          advance st;
+          let p0 = Int64.to_int (expect_int st "static parameter") in
+          let ps =
+            if peek st = Lexer.Comma then begin
+              advance st;
+              [ p0; Int64.to_int (expect_int st "static parameter") ]
+            end
+            else [ p0 ]
+          in
+          expect st Lexer.Rangle ">";
+          Some ps
+        end
+        else None
+      in
+      match (params, peek st) with
+      | None, Lexer.Lparen -> (
+          match primop_of_name name [] with
+          | Some op -> parse_prim_args st op
+          | None -> fail (Printf.sprintf "unknown primitive operator %s" name))
+      | Some ps, Lexer.Lparen -> (
+          match primop_of_name name ps with
+          | Some op -> parse_prim_args st op
+          | None ->
+              fail (Printf.sprintf "unknown parameterised operator %s" name))
+      | Some _, _ -> fail (Printf.sprintf "operator %s lacks arguments" name)
+      | None, _ -> Expr.reference name)
+  | t -> fail (Printf.sprintf "expected expression, got %s" (token_str t))
+
+and parse_prim_args st op =
+  expect st Lexer.Lparen "(";
+  let rec args acc =
+    let e = parse_expr_st st in
+    match peek st with
+    | Lexer.Comma ->
+        advance st;
+        args (e :: acc)
+    | Lexer.Rparen ->
+        advance st;
+        List.rev (e :: acc)
+    | t -> fail (Printf.sprintf "expected , or ) in arguments, got %s" (token_str t))
+  in
+  let args = args [] in
+  let expected = Expr.primop_arity op in
+  if List.length args <> expected then
+    fail
+      (Printf.sprintf "operator %s expects %d argument(s), got %d"
+         (Expr.primop_name op) expected (List.length args));
+  Expr.prim op args
+
+let parse_stmt st =
+  match peek st with
+  | Lexer.Ident "input" ->
+      advance st;
+      let name = expect_ident st "input name" in
+      expect st Lexer.Colon ":";
+      let width = parse_type st in
+      Some (Stmt.Input { name; width })
+  | Lexer.Ident "output" ->
+      advance st;
+      let name = expect_ident st "output name" in
+      expect st Lexer.Colon ":";
+      let width = parse_type st in
+      Some (Stmt.Output { name; width })
+  | Lexer.Ident "wire" ->
+      advance st;
+      let name = expect_ident st "wire name" in
+      expect st Lexer.Colon ":";
+      let width = parse_type st in
+      Some (Stmt.Wire { name; width })
+  | Lexer.Ident "reg" ->
+      advance st;
+      let name = expect_ident st "reg name" in
+      expect st Lexer.Colon ":";
+      let width = parse_type st in
+      let reset =
+        match peek st with
+        | Lexer.Ident "reset" ->
+            advance st;
+            Some (expect_int st "reset value")
+        | _ -> None
+      in
+      Some (Stmt.Reg { name; width; reset })
+  | Lexer.Ident "node" ->
+      advance st;
+      let name = expect_ident st "node name" in
+      expect st Lexer.Equals "=";
+      let expr = parse_expr_st st in
+      Some (Stmt.Node { name; expr })
+  | Lexer.Ident "connect" ->
+      advance st;
+      let dst = expect_ident st "connect destination" in
+      expect st Lexer.Equals "=";
+      let src = parse_expr_st st in
+      Some (Stmt.Connect { dst; src })
+  | _ -> None
+
+let parse_module_body st =
+  expect_keyword st "module";
+  let name = expect_ident st "module name" in
+  expect st Lexer.Lbracket "[";
+  let comp_name = expect_ident st "component tag" in
+  let component =
+    match Component.of_string comp_name with
+    | Some c -> c
+    | None -> fail (Printf.sprintf "unknown component tag %s" comp_name)
+  in
+  expect st Lexer.Rbracket "]";
+  expect st Lexer.Colon ":";
+  let rec stmts acc =
+    match parse_stmt st with Some s -> stmts (s :: acc) | None -> List.rev acc
+  in
+  Fmodule.make ~component name (stmts [])
+
+let parse input =
+  let st = { tokens = Lexer.tokenize input } in
+  expect_keyword st "circuit";
+  let name = expect_ident st "circuit name" in
+  expect st Lexer.Colon ":";
+  let rec modules acc =
+    match peek st with
+    | Lexer.Ident "module" -> modules (parse_module_body st :: acc)
+    | Lexer.Eof -> List.rev acc
+    | t -> fail (Printf.sprintf "expected module or end of input, got %s" (token_str t))
+  in
+  Circuit.make name (modules [])
+
+let parse_expr input =
+  let st = { tokens = Lexer.tokenize input } in
+  let e = parse_expr_st st in
+  match peek st with
+  | Lexer.Eof -> e
+  | t -> fail (Printf.sprintf "trailing input after expression: %s" (token_str t))
+
+let parse_module input =
+  let st = { tokens = Lexer.tokenize input } in
+  let m = parse_module_body st in
+  match peek st with
+  | Lexer.Eof -> m
+  | t -> fail (Printf.sprintf "trailing input after module: %s" (token_str t))

@@ -1,0 +1,69 @@
+type result = {
+  circuit : Circuit.t;
+  stmts_added : int;
+  pair_checks : int;
+}
+
+let uses name stmt =
+  match stmt with
+  | Stmt.Node { expr; _ } -> List.mem name (Expr.refs expr)
+  | Stmt.Connect { src; _ } -> List.mem name (Expr.refs src)
+  | Stmt.Input _ | Stmt.Output _ | Stmt.Wire _ | Stmt.Reg _ -> false
+
+let instrument_module m =
+  let stmts = m.Fmodule.stmts in
+  let pair_checks = ref 0 in
+  (* For each declared signal, scan the whole module for consumers — the
+     quadratic def-use sweep SpecDoctor performs per statement. *)
+  let tapped =
+    List.filter_map
+      (fun s ->
+        match Stmt.declared_name s with
+        | None -> None
+        | Some name ->
+            let consumers =
+              List.filter
+                (fun other ->
+                  incr pair_checks;
+                  uses name other)
+                stmts
+            in
+            let is_reg = match s with Stmt.Reg _ -> true | _ -> false in
+            if is_reg && consumers <> [] then Some name else None)
+      stmts
+  in
+  let added = ref [] in
+  List.iteri
+    (fun i name ->
+      let out = Printf.sprintf "__sd_cov%d" i in
+      added := Stmt.Output { name = out; width = 1 } :: !added;
+      added :=
+        Stmt.Connect
+          {
+            dst = out;
+            src = Expr.prim (Expr.Bits (0, 0)) [ Expr.reference name ];
+          }
+        :: !added)
+    tapped;
+  let new_stmts = List.rev !added in
+  ( { m with Fmodule.stmts = stmts @ new_stmts },
+    List.length new_stmts,
+    !pair_checks )
+
+let instrument circuit =
+  let stmts_added = ref 0 in
+  let pair_checks = ref 0 in
+  let modules =
+    List.map
+      (fun m ->
+        let m', added, checks = instrument_module m in
+        stmts_added := !stmts_added + added;
+        pair_checks := !pair_checks + checks;
+        m')
+      circuit.Circuit.modules
+  in
+  {
+    circuit = { circuit with Circuit.modules };
+    stmts_added = !stmts_added;
+    pair_checks = !pair_checks;
+  }

@@ -1,0 +1,40 @@
+type t =
+  | Input of { name : string; width : int }
+  | Output of { name : string; width : int }
+  | Wire of { name : string; width : int }
+  | Reg of { name : string; width : int; reset : int64 option }
+  | Node of { name : string; expr : Expr.t }
+  | Connect of { dst : string; src : Expr.t }
+
+let declared_name = function
+  | Input { name; _ }
+  | Output { name; _ }
+  | Wire { name; _ }
+  | Reg { name; _ }
+  | Node { name; _ } ->
+      Some name
+  | Connect _ -> None
+
+let declared_width = function
+  | Input { width; _ } | Output { width; _ } | Wire { width; _ } | Reg { width; _ }
+    ->
+      Some width
+  | Node _ | Connect _ -> None
+
+let pp fmt = function
+  | Input { name; width } -> Format.fprintf fmt "input %s : UInt<%d>" name width
+  | Output { name; width } ->
+      Format.fprintf fmt "output %s : UInt<%d>" name width
+  | Wire { name; width } -> Format.fprintf fmt "wire %s : UInt<%d>" name width
+  | Reg { name; width; reset = None } ->
+      Format.fprintf fmt "reg %s : UInt<%d>" name width
+  | Reg { name; width; reset = Some r } ->
+      Format.fprintf fmt "reg %s : UInt<%d> reset %Ld" name width r
+  | Node { name; expr } -> Format.fprintf fmt "node %s = %a" name Expr.pp expr
+  | Connect { dst; src } -> Format.fprintf fmt "connect %s = %a" dst Expr.pp src
+
+let equal a b =
+  match (a, b) with
+  | Node x, Node y -> String.equal x.name y.name && Expr.equal x.expr y.expr
+  | Connect x, Connect y -> String.equal x.dst y.dst && Expr.equal x.src y.src
+  | x, y -> x = y

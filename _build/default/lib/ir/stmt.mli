@@ -1,0 +1,24 @@
+(** Statements of the FIRRTL-like circuit IR.
+
+    A module body is a flat sequence of statements. [Node] binds a named
+    combinational expression (the lowered form of FIRRTL's [node]); [Connect]
+    drives a previously declared wire, register, or output. Registers update
+    on the implicit clock edge from the last value connected to them. *)
+
+type t =
+  | Input of { name : string; width : int }
+  | Output of { name : string; width : int }
+  | Wire of { name : string; width : int }
+  | Reg of { name : string; width : int; reset : int64 option }
+      (** [reset] is the synchronous reset value, if any. *)
+  | Node of { name : string; expr : Expr.t }
+  | Connect of { dst : string; src : Expr.t }
+
+val declared_name : t -> string option
+(** The signal a statement declares ([Input]/[Output]/[Wire]/[Reg]/[Node]);
+    [None] for [Connect]. *)
+
+val declared_width : t -> int option
+
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool

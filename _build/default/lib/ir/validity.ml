@@ -1,0 +1,113 @@
+type status =
+  | Direct of string
+  | Derived of string list
+  | Constant
+  | Always
+
+let has_valid = function Direct _ | Derived _ -> true | Constant | Always -> false
+
+let valid_signals = function
+  | Direct v -> [ v ]
+  | Derived vs -> vs
+  | Constant | Always -> []
+
+let prefix_candidates name =
+  let rec go acc name =
+    match String.rindex_opt name '_' with
+    | Some i when i > 0 ->
+        let prefix = String.sub name 0 i in
+        go (prefix :: acc) prefix
+    | Some _ | None -> List.rev acc
+  in
+  go [] name
+
+(* Max depth for backwards source tracing; processor request paths are
+   shallow, and the bound keeps adversarial inputs linear. *)
+let max_trace_depth = 4
+
+type context = {
+  signal_set : (string, unit) Hashtbl.t;
+  defs : (string, Expr.t) Hashtbl.t;
+}
+
+let context m =
+  let signal_set = Hashtbl.create 64 in
+  List.iter (fun (n, _) -> Hashtbl.replace signal_set n ()) (Fmodule.signals m);
+  { signal_set; defs = Fmodule.definitions m }
+
+let determine_in { signal_set; defs } request =
+  let exists n = Hashtbl.mem signal_set n in
+  let direct_valid name =
+    (* The validity field shares the data field's prefix (line 3 of
+       Algorithm 1). Prefer the longest matching prefix. *)
+    List.find_map
+      (fun prefix ->
+        let candidate = prefix ^ "_valid" in
+        if exists candidate && not (String.equal candidate name) then Some candidate
+        else None)
+      (prefix_candidates name)
+  in
+  let rec sources_valid depth visited expr =
+    (* Collect validities of the expression's source signals (lines 4-7). *)
+    if depth > max_trace_depth then []
+    else
+      Expr.fold_refs
+        (fun name acc ->
+          if Hashtbl.mem visited name then acc
+          else begin
+            Hashtbl.replace visited name ();
+            match direct_valid name with
+            | Some v -> v :: acc
+            | None -> (
+                match Hashtbl.find_opt defs name with
+                | Some def -> sources_valid (depth + 1) visited def @ acc
+                | None -> acc)
+          end)
+        expr []
+  in
+  if Expr.is_lit request then Constant
+  else
+    let direct =
+      match request with Expr.Ref name -> direct_valid name | _ -> None
+    in
+    match direct with
+    | Some v -> Direct v
+    | None -> (
+        let visited = Hashtbl.create 8 in
+        (* For a plain reference, trace through its definition; for compound
+           expressions, their refs are the sources. *)
+        let start =
+          match request with
+          | Expr.Ref name -> (
+              match Hashtbl.find_opt defs name with
+              | Some def -> def
+              | None -> request)
+          | _ -> request
+        in
+        (match request with
+        | Expr.Ref name -> Hashtbl.replace visited name ()
+        | _ -> ());
+        match List.sort_uniq String.compare (sources_valid 0 visited start) with
+        | [] -> Always
+        | [ v ] -> Direct v
+        | vs -> Derived vs)
+
+let pp fmt = function
+  | Direct v -> Format.fprintf fmt "valid(%s)" v
+  | Derived vs ->
+      Format.fprintf fmt "derived(%a)"
+        (Format.pp_print_list
+           ~pp_sep:(fun fmt () -> Format.pp_print_string fmt " & ")
+           Format.pp_print_string)
+        vs
+  | Constant -> Format.pp_print_string fmt "constant"
+  | Always -> Format.pp_print_string fmt "always-valid"
+
+let equal a b =
+  match (a, b) with
+  | Direct x, Direct y -> String.equal x y
+  | Derived x, Derived y -> List.equal String.equal x y
+  | Constant, Constant | Always, Always -> true
+  | (Direct _ | Derived _ | Constant | Always), _ -> false
+
+let determine m request = determine_in (context m) request

@@ -1,0 +1,52 @@
+(** Request-validity determination — the paper's Algorithm 1 (§5.2).
+
+    Requests in a processor carry a data field and a validity field that, by
+    circuit-programming convention, share a common name prefix (e.g. BOOM's
+    ROB commit request: data [io_commit_uops_inst], validity
+    [io_commit_valid]). The algorithm:
+
+    + pattern-match for a [<prefix>_valid] signal sharing a prefix with the
+      request's data field;
+    + failing that, trace back to the data field's source signals and take
+      the bitwise AND of their validities;
+    + failing that, consider the request constantly valid.
+
+    Literal requests are [Constant]; their interval states cannot depend on
+    any input, so the point carries no side-channel risk (§5.2). *)
+
+type status =
+  | Direct of string  (** a [<prefix>_valid] signal names the validity *)
+  | Derived of string list
+      (** validity is the AND of these source-validity signals *)
+  | Constant  (** the request is a literal *)
+  | Always  (** no validity found: valid during every cycle *)
+
+val has_valid : status -> bool
+(** [true] for [Direct] and [Derived]: the request's validity is input-
+    dependent, so its [reqsIntvl] is a meaningful runtime state. *)
+
+val valid_signals : status -> string list
+(** The concrete validity signal names ([[]] for [Constant]/[Always]). *)
+
+val prefix_candidates : string -> string list
+(** All prefixes of a flattened signal name obtained by stripping trailing
+    underscore-separated segments, longest first. Exposed for testing:
+    [prefix_candidates "io_commit_uops_inst"] is
+    [["io_commit_uops"; "io_commit"; "io"]]. *)
+
+type context
+(** Precomputed per-module lookup tables (signal set and definitions).
+    Classifying every request of a module through one context is linear in
+    the module size instead of quadratic. *)
+
+val context : Fmodule.t -> context
+
+val determine_in : context -> Expr.t -> status
+(** Determine the validity of a request (a MUX-tree leaf expression).
+    Source tracing is depth-bounded and cycle-safe. *)
+
+val determine : Fmodule.t -> Expr.t -> status
+(** One-shot convenience wrapper over {!context} + {!determine_in}. *)
+
+val pp : Format.formatter -> status -> unit
+val equal : status -> status -> bool

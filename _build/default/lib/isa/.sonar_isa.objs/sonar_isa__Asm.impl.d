@@ -1,0 +1,1 @@
+lib/isa/asm.ml: Instr Int64 List Printf Reg String

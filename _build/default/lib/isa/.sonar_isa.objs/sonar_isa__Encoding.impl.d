@@ -1,0 +1,1 @@
+lib/isa/encoding.ml: Instr Int32 List Printf Reg

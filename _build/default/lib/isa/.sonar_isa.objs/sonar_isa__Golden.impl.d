@@ -1,0 +1,1 @@
+lib/isa/golden.ml: Array Format Instr Int64 List Memory Program Reg

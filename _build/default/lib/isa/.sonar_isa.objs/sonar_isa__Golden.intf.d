@@ -1,0 +1,1 @@
+lib/isa/golden.mli: Format Instr Memory Program Reg

@@ -1,0 +1,1 @@
+lib/isa/memory.ml: Hashtbl Int64 Option Printf

@@ -1,0 +1,1 @@
+lib/rtlsim/bitvec.ml: Format Int64 Printf

@@ -1,0 +1,1 @@
+lib/rtlsim/bitvec.mli: Format

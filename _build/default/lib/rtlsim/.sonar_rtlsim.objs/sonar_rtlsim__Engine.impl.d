@@ -1,0 +1,1 @@
+lib/rtlsim/engine.ml: Array Bitvec Expr Fmodule Hashtbl Int64 Levelize List Option Sonar_ir Stmt

@@ -1,0 +1,1 @@
+lib/rtlsim/engine.mli: Bitvec Sonar_ir

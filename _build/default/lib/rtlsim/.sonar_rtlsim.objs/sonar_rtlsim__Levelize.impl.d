@@ -1,0 +1,1 @@
+lib/rtlsim/levelize.ml: Expr Fmodule Hashtbl List Sonar_ir Stmt String

@@ -1,0 +1,1 @@
+lib/rtlsim/levelize.mli: Sonar_ir

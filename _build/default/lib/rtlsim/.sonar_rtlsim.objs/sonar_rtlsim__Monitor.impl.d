@@ -1,0 +1,1 @@
+lib/rtlsim/monitor.ml: Array Engine List Sonar_ir String

@@ -1,0 +1,1 @@
+lib/rtlsim/monitor.mli: Engine Sonar_ir

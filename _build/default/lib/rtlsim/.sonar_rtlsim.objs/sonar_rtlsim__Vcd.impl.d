@@ -1,0 +1,1 @@
+lib/rtlsim/vcd.ml: Bitvec Buffer Bytes Char Engine Fun Hashtbl Int64 List Option Printf String

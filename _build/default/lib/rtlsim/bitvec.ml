@@ -1,0 +1,55 @@
+type t = { value : int64; width : int }
+
+exception Width_error of string
+
+let mask width = Int64.sub (Int64.shift_left 1L width) 1L
+
+let make ~width value =
+  if width < 1 || width > 63 then
+    raise (Width_error (Printf.sprintf "width %d out of range 1..63" width));
+  { value = Int64.logand value (mask width); width }
+
+let zero width = make ~width 0L
+let one width = make ~width 1L
+let value t = t.value
+let width t = t.width
+let to_int t = Int64.to_int t.value
+let is_true t = not (Int64.equal t.value 0L)
+
+let result_width a b = max a.width b.width
+let binop f a b = make ~width:(result_width a b) (f a.value b.value)
+let add = binop Int64.add
+let sub = binop Int64.sub
+let logand = binop Int64.logand
+let logor = binop Int64.logor
+let logxor = binop Int64.logxor
+let lognot a = make ~width:a.width (Int64.lognot a.value)
+
+let bool1 b = make ~width:1 (if b then 1L else 0L)
+let eq a b = bool1 (Int64.equal a.value b.value)
+let neq a b = bool1 (not (Int64.equal a.value b.value))
+let lt a b = bool1 (Int64.unsigned_compare a.value b.value < 0)
+let leq a b = bool1 (Int64.unsigned_compare a.value b.value <= 0)
+let gt a b = bool1 (Int64.unsigned_compare a.value b.value > 0)
+let geq a b = bool1 (Int64.unsigned_compare a.value b.value >= 0)
+
+let shl n a = make ~width:(min 63 (a.width + n)) (Int64.shift_left a.value n)
+
+let shr n a =
+  let w = max 1 (a.width - n) in
+  make ~width:w (Int64.shift_right_logical a.value n)
+
+let bits ~hi ~lo a =
+  if hi < lo || lo < 0 then
+    raise (Width_error (Printf.sprintf "invalid slice [%d:%d]" hi lo));
+  make ~width:(hi - lo + 1) (Int64.shift_right_logical a.value lo)
+
+let cat hi lo =
+  let w = hi.width + lo.width in
+  if w > 63 then raise (Width_error "cat result exceeds 63 bits");
+  make ~width:w (Int64.logor (Int64.shift_left hi.value lo.width) lo.value)
+
+let pad w a = make ~width:w a.value
+let mux sel tval fval = if is_true sel then tval else fval
+let equal a b = Int64.equal a.value b.value && a.width = b.width
+let pp fmt t = Format.fprintf fmt "%Ld:%d" t.value t.width

@@ -1,0 +1,55 @@
+(** Width-tracked bit vectors backed by [int64].
+
+    Widths are limited to 1..63 bits so every value is a non-negative
+    [int64]; all operations mask their result to the target width. This
+    covers the netlists Sonar manipulates (counters, valid bits, indices,
+    small data fields). *)
+
+type t = private { value : int64; width : int }
+
+exception Width_error of string
+
+val make : width:int -> int64 -> t
+(** Mask the value to [width] bits. @raise Width_error if [width] ∉ [1,63]. *)
+
+val zero : int -> t
+val one : int -> t
+val value : t -> int64
+val width : t -> int
+val to_int : t -> int
+val is_true : t -> bool
+(** Non-zero test. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+(** Two's-complement wrap within the result width. *)
+
+val logand : t -> t -> t
+val logor : t -> t -> t
+val logxor : t -> t -> t
+val lognot : t -> t
+
+val eq : t -> t -> t
+val neq : t -> t -> t
+val lt : t -> t -> t
+val leq : t -> t -> t
+val gt : t -> t -> t
+val geq : t -> t -> t
+(** Comparisons return a 1-bit value. *)
+
+val shl : int -> t -> t
+val shr : int -> t -> t
+val bits : hi:int -> lo:int -> t -> t
+(** Slice extraction; result width is [hi - lo + 1]. *)
+
+val cat : t -> t -> t
+(** [cat hi lo]: concatenation, first argument in the high bits. *)
+
+val pad : int -> t -> t
+(** Zero-extend (or re-mask, if narrower) to the given width. *)
+
+val mux : t -> t -> t -> t
+(** [mux sel tval fval]. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,177 @@
+open Sonar_ir
+
+exception Unknown_signal of string
+
+type signal = {
+  name : string;
+  width : int;
+  mutable value : Bitvec.t;
+  is_input : bool;
+}
+
+type t = {
+  signals : (string, signal) Hashtbl.t;
+  order : (signal * Expr.t) array;  (** combinational, in evaluation order *)
+  regs : (signal * Expr.t option * int64) array;  (** reg, drive, reset *)
+  names : string list;
+  mutable cycles : int;
+}
+
+let find t name =
+  match Hashtbl.find_opt t.signals name with
+  | Some s -> s
+  | None -> raise (Unknown_signal name)
+
+(* Expression width inference, mirroring Bitvec's result widths. *)
+let rec infer_width t expr =
+  match expr with
+  | Expr.Ref name -> (find t name).width
+  | Expr.Lit { width; _ } -> width
+  | Expr.Mux { tval; fval; _ } -> max (infer_width t tval) (infer_width t fval)
+  | Expr.Prim { op; args } -> (
+      let arg n = infer_width t (List.nth args n) in
+      match op with
+      | Expr.Eq | Expr.Neq | Expr.Lt | Expr.Leq | Expr.Gt | Expr.Geq -> 1
+      | Expr.Not -> arg 0
+      | Expr.Shl n -> min 63 (arg 0 + n)
+      | Expr.Shr n -> max 1 (arg 0 - n)
+      | Expr.Bits (hi, lo) -> hi - lo + 1
+      | Expr.Pad n -> n
+      | Expr.Cat -> min 63 (arg 0 + arg 1)
+      | Expr.Add | Expr.Sub | Expr.And | Expr.Or | Expr.Xor -> max (arg 0) (arg 1))
+
+let rec eval t expr =
+  match expr with
+  | Expr.Ref name -> (find t name).value
+  | Expr.Lit { value; width } -> Bitvec.make ~width value
+  | Expr.Mux { sel; tval; fval } ->
+      if Bitvec.is_true (eval t sel) then eval t tval else eval t fval
+  | Expr.Prim { op; args } -> (
+      match (op, args) with
+      | Expr.Not, [ a ] -> Bitvec.lognot (eval t a)
+      | Expr.Shl n, [ a ] -> Bitvec.shl n (eval t a)
+      | Expr.Shr n, [ a ] -> Bitvec.shr n (eval t a)
+      | Expr.Bits (hi, lo), [ a ] -> Bitvec.bits ~hi ~lo (eval t a)
+      | Expr.Pad n, [ a ] -> Bitvec.pad n (eval t a)
+      | Expr.Add, [ a; b ] -> Bitvec.add (eval t a) (eval t b)
+      | Expr.Sub, [ a; b ] -> Bitvec.sub (eval t a) (eval t b)
+      | Expr.And, [ a; b ] -> Bitvec.logand (eval t a) (eval t b)
+      | Expr.Or, [ a; b ] -> Bitvec.logor (eval t a) (eval t b)
+      | Expr.Xor, [ a; b ] -> Bitvec.logxor (eval t a) (eval t b)
+      | Expr.Eq, [ a; b ] -> Bitvec.eq (eval t a) (eval t b)
+      | Expr.Neq, [ a; b ] -> Bitvec.neq (eval t a) (eval t b)
+      | Expr.Lt, [ a; b ] -> Bitvec.lt (eval t a) (eval t b)
+      | Expr.Leq, [ a; b ] -> Bitvec.leq (eval t a) (eval t b)
+      | Expr.Gt, [ a; b ] -> Bitvec.gt (eval t a) (eval t b)
+      | Expr.Geq, [ a; b ] -> Bitvec.geq (eval t a) (eval t b)
+      | _ -> invalid_arg "Engine.eval: arity mismatch")
+
+let compile (m : Fmodule.t) =
+  let t =
+    {
+      signals = Hashtbl.create 128;
+      order = [||];
+      regs = [||];
+      names = [];
+      cycles = 0;
+    }
+  in
+  let names = ref [] in
+  let declare name width is_input =
+    if not (Hashtbl.mem t.signals name) then begin
+      Hashtbl.replace t.signals name
+        { name; width; value = Bitvec.zero width; is_input };
+      names := name :: !names
+    end
+  in
+  (* First declare everything with an explicit width. *)
+  List.iter
+    (fun s ->
+      match s with
+      | Stmt.Input { name; width } -> declare name width true
+      | Stmt.Output { name; width } | Stmt.Wire { name; width } ->
+          declare name width false
+      | Stmt.Reg { name; width; _ } -> declare name width false
+      | Stmt.Node _ | Stmt.Connect _ -> ())
+    m.Fmodule.stmts;
+  (* Nodes take their expression's inferred width; forward references inside
+     node chains are resolved by a pre-pass declaring them at 63 bits then
+     refining in evaluation order. *)
+  let defs = Fmodule.definitions m in
+  let order_names = Levelize.order m in
+  List.iter
+    (fun name -> if not (Hashtbl.mem t.signals name) then declare name 63 false)
+    order_names;
+  List.iter
+    (fun name ->
+      let expr = Hashtbl.find defs name in
+      match Fmodule.find_decl m name with
+      | Some (Stmt.Node _) | None ->
+          let s = Hashtbl.find t.signals name in
+          let w = infer_width t expr in
+          s.value <- Bitvec.zero w;
+          Hashtbl.replace t.signals name { s with width = w; value = Bitvec.zero w }
+      | Some _ -> ())
+    order_names;
+  let order =
+    Array.of_list
+      (List.map (fun name -> (Hashtbl.find t.signals name, Hashtbl.find defs name)) order_names)
+  in
+  let reg_table = Fmodule.registers m in
+  let regs =
+    m.Fmodule.stmts
+    |> List.filter_map (function
+         | Stmt.Reg { name; reset; _ } ->
+             let drive = Option.join (Hashtbl.find_opt reg_table name) in
+             let reset = Option.value ~default:0L reset in
+             Some (Hashtbl.find t.signals name, drive, reset)
+         | _ -> None)
+    |> Array.of_list
+  in
+  let t = { t with order; regs; names = List.rev !names } in
+  (* Initialise registers to reset values and settle once. *)
+  Array.iter
+    (fun ((s : signal), _, reset) -> s.value <- Bitvec.make ~width:s.width reset)
+    t.regs;
+  Array.iter (fun ((s : signal), expr) -> s.value <- Bitvec.pad s.width (eval t expr)) t.order;
+  t
+
+let settle t =
+  Array.iter (fun ((s : signal), expr) -> s.value <- Bitvec.pad s.width (eval t expr)) t.order
+
+let step t =
+  settle t;
+  let next =
+    Array.map
+      (fun ((s : signal), drive, _) ->
+        match drive with
+        | Some expr -> Bitvec.pad s.width (eval t expr)
+        | None -> s.value)
+      t.regs
+  in
+  Array.iteri (fun i ((s : signal), _, _) -> s.value <- next.(i)) t.regs;
+  settle t;
+  t.cycles <- t.cycles + 1
+
+let poke t name v =
+  let s = find t name in
+  if not s.is_input then raise (Unknown_signal (name ^ " is not an input"));
+  s.value <- Bitvec.pad s.width v
+
+let poke_int t name v = poke t name (Bitvec.make ~width:(find t name).width (Int64.of_int v))
+let peek t name = (find t name).value
+let peek_int t name = Bitvec.to_int (peek t name)
+let cycle t = t.cycles
+
+let reset t =
+  Array.iter
+    (fun ((s : signal), _, reset) -> s.value <- Bitvec.make ~width:s.width reset)
+    t.regs;
+  Hashtbl.iter
+    (fun _ s -> if s.is_input then s.value <- Bitvec.zero s.width)
+    t.signals;
+  settle t;
+  t.cycles <- 0
+
+let signal_names t = t.names
+let signal_width t name = (find t name).width

@@ -1,0 +1,42 @@
+(** Cycle-accurate simulation engine for a single IR module.
+
+    The engine levelizes the module once ({!compile}), then [step] evaluates
+    every combinational signal in dependency order, computes the next value
+    of every register from its drive expression, and latches — standard
+    two-phase synchronous semantics, the same evaluation model Verilator
+    gives the paper. *)
+
+type t
+
+exception Unknown_signal of string
+
+val compile : Sonar_ir.Fmodule.t -> t
+(** @raise Levelize.Combinational_cycle on cyclic combinational logic. *)
+
+val poke : t -> string -> Bitvec.t -> unit
+(** Drive an input. @raise Unknown_signal if not an input. *)
+
+val poke_int : t -> string -> int -> unit
+
+val step : t -> unit
+(** Advance one clock cycle: settle combinational logic, latch registers. *)
+
+val settle : t -> unit
+(** Re-evaluate combinational logic without latching (to observe outputs
+    after a {!poke} mid-cycle). *)
+
+val peek : t -> string -> Bitvec.t
+(** Read any signal's current value. @raise Unknown_signal *)
+
+val peek_int : t -> string -> int
+val cycle : t -> int
+(** Cycles elapsed since {!compile} or {!reset}. *)
+
+val reset : t -> unit
+(** Restore registers to their reset values (0 when unspecified), zero
+    inputs, and rewind the cycle counter. *)
+
+val signal_names : t -> string list
+(** All signals, in declaration order (used by the VCD writer). *)
+
+val signal_width : t -> string -> int

@@ -1,0 +1,40 @@
+open Sonar_ir
+
+exception Combinational_cycle of string list
+
+let order (m : Fmodule.t) =
+  let defs = Fmodule.definitions m in
+  let regs = Fmodule.registers m in
+  let is_comb name = Hashtbl.mem defs name && not (Hashtbl.mem regs name) in
+  (* Colours: 0 unvisited, 1 on stack, 2 done. *)
+  let colour = Hashtbl.create 64 in
+  let out = ref [] in
+  let rec visit path name =
+    match Hashtbl.find_opt colour name with
+    | Some 2 -> ()
+    | Some 1 ->
+        let rec upto acc = function
+          | [] -> acc
+          | n :: _ when String.equal n name -> acc
+          | n :: rest -> upto (n :: acc) rest
+        in
+        raise (Combinational_cycle (name :: upto [] path))
+    | Some _ | None ->
+        if is_comb name then begin
+          Hashtbl.replace colour name 1;
+          let expr = Hashtbl.find defs name in
+          List.iter
+            (fun dep -> if is_comb dep then visit (name :: path) dep)
+            (Expr.refs expr);
+          Hashtbl.replace colour name 2;
+          out := name :: !out
+        end
+        else Hashtbl.replace colour name 2
+  in
+  List.iter
+    (fun s ->
+      match Stmt.declared_name s with
+      | Some n when is_comb n -> visit [] n
+      | Some _ | None -> ())
+    m.Fmodule.stmts;
+  List.rev !out

@@ -1,0 +1,14 @@
+(** Levelization: topological ordering of a module's combinational signals.
+
+    Sources are inputs, registers, and literals; every node/wire/output is
+    scheduled after the signals its defining expression reads. Registers
+    break cycles by construction (their value is read from the previous
+    cycle's state). *)
+
+exception Combinational_cycle of string list
+(** Raised with the cycle's member signals when the combinational graph is
+    cyclic and therefore unsimulatable. *)
+
+val order : Sonar_ir.Fmodule.t -> string list
+(** Evaluation order over combinationally defined signals (nodes, wires and
+    outputs with definitions). @raise Combinational_cycle *)

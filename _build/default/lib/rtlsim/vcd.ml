@@ -1,0 +1,69 @@
+type t = {
+  engine : Engine.t;
+  buf : Buffer.t;
+  signals : (string * string) list;  (** name, VCD identifier code *)
+  previous : (string, int64) Hashtbl.t;
+  mutable timestamp : int;
+}
+
+(* Short printable identifier codes starting at '!', then two-char codes. *)
+let id_code i =
+  let alphabet = 94 in
+  let chr k = Char.chr (33 + k) in
+  if i < alphabet then String.make 1 (chr i)
+  else
+    let hi = (i / alphabet) - 1 and lo = i mod alphabet in
+    Printf.sprintf "%c%c" (chr hi) (chr lo)
+
+let create ?signals engine =
+  let names = Option.value ~default:(Engine.signal_names engine) signals in
+  let signals = List.mapi (fun i n -> (n, id_code i)) names in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "$timescale 1ns $end\n$scope module dut $end\n";
+  List.iter
+    (fun (name, code) ->
+      Buffer.add_string buf
+        (Printf.sprintf "$var wire %d %s %s $end\n" (Engine.signal_width engine name)
+           code name))
+    signals;
+  Buffer.add_string buf "$upscope $end\n$enddefinitions $end\n";
+  { engine; buf; signals; previous = Hashtbl.create 64; timestamp = 0 }
+
+let binary_of_value v width =
+  let b = Bytes.make width '0' in
+  for i = 0 to width - 1 do
+    if Int64.logand (Int64.shift_right_logical v (width - 1 - i)) 1L = 1L then
+      Bytes.set b i '1'
+  done;
+  Bytes.to_string b
+
+let dump t =
+  Buffer.add_string t.buf (Printf.sprintf "#%d\n" t.timestamp);
+  List.iter
+    (fun (name, code) ->
+      let bv = Engine.peek t.engine name in
+      let v = Bitvec.value bv in
+      let changed =
+        match Hashtbl.find_opt t.previous name with
+        | Some prev -> not (Int64.equal prev v)
+        | None -> true
+      in
+      if changed then begin
+        Hashtbl.replace t.previous name v;
+        let width = Bitvec.width bv in
+        if width = 1 then
+          Buffer.add_string t.buf (Printf.sprintf "%Ld%s\n" v code)
+        else
+          Buffer.add_string t.buf
+            (Printf.sprintf "b%s %s\n" (binary_of_value v width) code)
+      end)
+    t.signals;
+  t.timestamp <- t.timestamp + 1
+
+let contents t = Buffer.contents t.buf
+
+let write_file t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (contents t))

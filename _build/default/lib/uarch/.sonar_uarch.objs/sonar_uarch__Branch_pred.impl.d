@@ -1,0 +1,1 @@
+lib/uarch/branch_pred.ml: Config Hashtbl Int64 Option

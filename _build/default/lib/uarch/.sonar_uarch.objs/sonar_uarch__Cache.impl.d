@@ -1,0 +1,1 @@
+lib/uarch/cache.ml: Array Config Hashtbl Int64 Option

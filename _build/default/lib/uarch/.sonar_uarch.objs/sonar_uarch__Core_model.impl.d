@@ -1,0 +1,1 @@
+lib/uarch/core_model.ml: Array Branch_pred Config Cpoint Exec_unit Golden Hashtbl Instr Int64 List Memsys Option Printf Reg Sonar_ir Sonar_isa

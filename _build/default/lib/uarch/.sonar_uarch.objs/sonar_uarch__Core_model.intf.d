@@ -1,0 +1,1 @@
+lib/uarch/core_model.mli: Config Cpoint Memsys Sonar_isa

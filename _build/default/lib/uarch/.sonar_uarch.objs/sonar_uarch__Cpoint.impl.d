@@ -1,0 +1,1 @@
+lib/uarch/cpoint.ml: Array Config Hashtbl Int64 List Printf Sonar_ir String

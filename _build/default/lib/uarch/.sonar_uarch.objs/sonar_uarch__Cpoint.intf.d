@@ -1,0 +1,1 @@
+lib/uarch/cpoint.mli: Config Hashtbl Sonar_ir

@@ -1,0 +1,1 @@
+lib/uarch/exec_unit.ml: Config Cpoint Int64 List Option Printf Sonar_ir

@@ -1,0 +1,1 @@
+lib/uarch/machine.ml: Array Core_model Cpoint List Memsys Sonar_ir Sonar_isa

@@ -1,0 +1,1 @@
+lib/uarch/machine.mli: Config Core_model Cpoint Sonar_ir Sonar_isa

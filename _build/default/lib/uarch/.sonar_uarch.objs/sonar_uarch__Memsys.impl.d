@@ -1,0 +1,1 @@
+lib/uarch/memsys.ml: Array Cache Config Cpoint Fun Hashtbl Int64 List Option Printf Sonar_ir String

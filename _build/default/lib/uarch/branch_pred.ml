@@ -1,0 +1,32 @@
+type t = {
+  btb : (int64, int64) Hashtbl.t;
+  counters : (int64, int) Hashtbl.t;  (* 2-bit saturating, 0-3 *)
+}
+
+let create (_cfg : Config.t) = { btb = Hashtbl.create 64; counters = Hashtbl.create 64 }
+let counter t pc = Option.value ~default:1 (Hashtbl.find_opt t.counters pc)
+
+let predict t ~pc ~taken ~target =
+  let dir_pred = counter t pc >= 2 in
+  let target_known =
+    match Hashtbl.find_opt t.btb pc with
+    | Some btb_target -> Int64.equal btb_target target
+    | None -> false
+  in
+  if taken then dir_pred && target_known else not dir_pred
+
+let predict_jump t ~pc ~target =
+  match Hashtbl.find_opt t.btb pc with
+  | Some btb_target -> Int64.equal btb_target target
+  | None -> false
+
+let update t ~pc ~taken ~target =
+  let c = counter t pc in
+  Hashtbl.replace t.counters pc (if taken then min 3 (c + 1) else max 0 (c - 1));
+  if taken then Hashtbl.replace t.btb pc target
+
+let update_jump t ~pc ~target = Hashtbl.replace t.btb pc target
+
+let reset t =
+  Hashtbl.reset t.btb;
+  Hashtbl.reset t.counters

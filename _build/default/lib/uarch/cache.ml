@@ -1,0 +1,145 @@
+type fill_info = { filler_seq : int; fill_cycle : int; filler_tainted : bool }
+
+type line = {
+  mutable tag : int64;
+  mutable valid : bool;
+  mutable dirty : bool;
+  mutable lru : int;
+  mutable info : fill_info;
+}
+
+type victim = { victim_addr : int64; was_dirty : bool }
+
+type t = {
+  sets : line array array;
+  line_bytes : int;
+  n_sets : int;
+  ways : int;
+  index_bits : int;
+  offset_bits : int;
+  mutable tick : int;
+  (* Per set: last few evicted tags with the evicting fill's seq (S12). *)
+  evicted : (int * int64, int * bool) Hashtbl.t;
+}
+
+let log2 n =
+  let rec go acc v = if v <= 1 then acc else go (acc + 1) (v / 2) in
+  go 0 n
+
+let create (cfg : Config.cache_cfg) =
+  let total = cfg.size_kb * 1024 in
+  let n_sets = max 1 (total / (cfg.ways * cfg.line_bytes)) in
+  {
+    sets =
+      Array.init n_sets (fun _ ->
+          Array.init cfg.ways (fun _ ->
+              {
+                tag = 0L;
+                valid = false;
+                dirty = false;
+                lru = 0;
+                info = { filler_seq = -1; fill_cycle = -1; filler_tainted = false };
+              }));
+    line_bytes = cfg.line_bytes;
+    n_sets;
+    ways = cfg.ways;
+    index_bits = log2 n_sets;
+    offset_bits = log2 cfg.line_bytes;
+    tick = 0;
+    evicted = Hashtbl.create 64;
+  }
+
+let n_sets t = t.n_sets
+
+let set_index t addr =
+  Int64.to_int
+    (Int64.logand
+       (Int64.shift_right_logical addr t.offset_bits)
+       (Int64.of_int (t.n_sets - 1)))
+
+let tag_of t addr = Int64.shift_right_logical addr (t.offset_bits + t.index_bits)
+
+let line_addr t addr =
+  Int64.logand addr (Int64.lognot (Int64.of_int (t.line_bytes - 1)))
+
+let find_line t addr =
+  let set = t.sets.(set_index t addr) in
+  let tag = tag_of t addr in
+  let rec go i =
+    if i >= t.ways then None
+    else if set.(i).valid && Int64.equal set.(i).tag tag then Some set.(i)
+    else go (i + 1)
+  in
+  go 0
+
+let probe t addr = Option.is_some (find_line t addr)
+
+let lookup t addr =
+  match find_line t addr with
+  | Some line ->
+      t.tick <- t.tick + 1;
+      line.lru <- t.tick;
+      Some line.info
+  | None -> None
+
+let reconstruct_addr t set_idx tag =
+  Int64.logor
+    (Int64.shift_left tag (t.offset_bits + t.index_bits))
+    (Int64.shift_left (Int64.of_int set_idx) t.offset_bits)
+
+let fill t addr ~seq ~cycle ~tainted =
+  let set_idx = set_index t addr in
+  let set = t.sets.(set_idx) in
+  let tag = tag_of t addr in
+  (* Reuse an existing line for the same tag, else the LRU way. *)
+  let line =
+    match find_line t addr with
+    | Some l -> l
+    | None ->
+        let victim = ref set.(0) in
+        Array.iter
+          (fun l ->
+            if not l.valid then victim := l
+            else if !victim.valid && l.lru < !victim.lru then victim := l)
+          set;
+        !victim
+  in
+  let evicted =
+    if line.valid && not (Int64.equal line.tag tag) then begin
+      Hashtbl.replace t.evicted (set_idx, line.tag) (seq, tainted);
+      Some
+        { victim_addr = reconstruct_addr t set_idx line.tag; was_dirty = line.dirty }
+    end
+    else None
+  in
+  t.tick <- t.tick + 1;
+  line.tag <- tag;
+  line.valid <- true;
+  line.dirty <- false;
+  line.lru <- t.tick;
+  line.info <- { filler_seq = seq; fill_cycle = cycle; filler_tainted = tainted };
+  evicted
+
+let mark_dirty t addr =
+  match find_line t addr with
+  | Some line ->
+      line.dirty <- true;
+      true
+  | None -> false
+
+let is_dirty t addr =
+  match find_line t addr with Some line -> line.dirty | None -> false
+
+let recently_evicted t addr =
+  Hashtbl.find_opt t.evicted (set_index t addr, tag_of t addr)
+
+let flush t =
+  Array.iter
+    (fun set ->
+      Array.iter
+        (fun l ->
+          l.valid <- false;
+          l.dirty <- false)
+        set)
+    t.sets;
+  Hashtbl.reset t.evicted

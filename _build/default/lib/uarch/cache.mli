@@ -1,0 +1,42 @@
+(** Set-associative write-back cache timing model with LRU replacement.
+
+    Tracks tags, validity, dirtiness and filler identity per line. Values
+    are not stored (the golden model supplies data); this model only answers
+    hit/miss questions and produces victim information, which is what the
+    contention channels need. Filler identity (which dynamic instruction
+    brought a line in, and when) supports the persistent-channel detectors
+    (S11: hit on a line filled by a younger instruction; S12: miss on a
+    recently evicted line). *)
+
+type fill_info = { filler_seq : int; fill_cycle : int; filler_tainted : bool }
+
+type victim = { victim_addr : int64; was_dirty : bool }
+
+type t
+
+val create : Config.cache_cfg -> t
+val n_sets : t -> int
+val set_index : t -> int64 -> int
+val line_addr : t -> int64 -> int64
+(** Align an address down to its cache line. *)
+
+val probe : t -> int64 -> bool
+(** Hit test without touching replacement state. *)
+
+val lookup : t -> int64 -> fill_info option
+(** Hit test that updates LRU; returns the line's fill info on hit. *)
+
+val fill : t -> int64 -> seq:int -> cycle:int -> tainted:bool -> victim option
+(** Install a line (clean); returns the evicted victim if one was valid. *)
+
+val mark_dirty : t -> int64 -> bool
+(** Mark the line holding this address dirty; [false] if not present. *)
+
+val is_dirty : t -> int64 -> bool
+
+val recently_evicted : t -> int64 -> (int * bool) option
+(** If this address's line was evicted from its set recently, the dynamic
+    sequence number of the instruction whose fill evicted it and that
+    fill's taint (S12). *)
+
+val flush : t -> unit

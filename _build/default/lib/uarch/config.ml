@@ -1,0 +1,191 @@
+type exception_policy = Lazy_at_commit | Early_at_execute
+
+type cache_cfg = {
+  size_kb : int;
+  ways : int;
+  line_bytes : int;
+  hit_latency : int;
+}
+
+type t = {
+  name : string;
+  isa : string;
+  privilege : string;
+  pipeline_stages : int;
+  fetch_width : int;
+  fetch_buffer : int;
+  decode_width : int;
+  commit_width : int;
+  rob_entries : int;
+  int_phys_regs : int;
+  fp_phys_regs : int option;
+  int_alus : int;
+  mem_units : int;
+  fp_units : int option;
+  ldq_entries : int option;
+  stq_entries : int;
+  unified_mdu : bool;
+  wb_ports : int;
+  icache : cache_cfg;
+  dcache : cache_cfg;
+  l2 : cache_cfg;
+  mshrs : int;
+  mem_latency : int;
+  l2_latency : int;
+  branch_predictor : string;
+  bus_protocol : string;
+  exception_policy : exception_policy;
+  mispredict_penalty : int;
+  fanout : (string * int) list;
+}
+
+(* Fanouts: how many netlist-level MUX contention points each runtime
+   arbitration site maps to. The totals are calibrated to the paper's
+   Figure 7 monitored-point counts (BOOM 6620, NutShell 2976); the same
+   numbers size the generated netlists in Sonar_dut. *)
+let boom_fanout =
+  [
+    ("tilelink.d_channel", 420);
+    ("l2.req_port", 180);
+    ("frontend.fb_enq", 570);
+    ("frontend.pc_sel", 310);
+    ("icache.mshr", 150);
+    ("bpd.update", 300);
+    ("rob.enq", 600);
+    ("rob.commit", 560);
+    ("rob.exception", 240);
+    ("exec.wb_port", 360);
+    ("exec.issue_alu", 460);
+    ("exec.issue_mem", 260);
+    ("exec.div_req", 120);
+    ("lsu.ldq_stq_idx", 540);
+    ("lsu.dcache_port", 330);
+    ("mshr.alloc", 260);
+    ("linebuffer.read", 190);
+    ("linebuffer.write", 170);
+    ("dcache.fill", 440);
+    ("stq.drain", 220);
+  ]
+
+let nutshell_fanout =
+  [
+    ("bus.req", 260);
+    ("frontend.fb_enq", 180);
+    ("frontend.pc_sel", 150);
+    ("icache.port", 190);
+    ("rob.enq", 330);
+    ("rob.commit", 260);
+    ("rob.exception", 120);
+    ("exec.wb_port", 180);
+    ("exec.issue_alu", 230);
+    ("exec.issue_mem", 140);
+    ("mdu.req", 160);
+    ("lsu.ldq_stq_idx", 240);
+    ("lsu.dcache_port", 210);
+    ("dcache.fill", 230);
+    ("stq.drain", 96);
+  ]
+
+let boom =
+  {
+    name = "boom";
+    isa = "RV64GC";
+    privilege = "U/S/M";
+    pipeline_stages = 10;
+    fetch_width = 8;
+    fetch_buffer = 24;
+    decode_width = 4;
+    commit_width = 4;
+    rob_entries = 96;
+    int_phys_regs = 100;
+    fp_phys_regs = Some 96;
+    int_alus = 3;
+    mem_units = 1;
+    fp_units = Some 1;
+    ldq_entries = Some 24;
+    stq_entries = 24;
+    unified_mdu = false;
+    wb_ports = 2;
+    icache = { size_kb = 32; ways = 8; line_bytes = 64; hit_latency = 1 };
+    dcache = { size_kb = 32; ways = 8; line_bytes = 64; hit_latency = 3 };
+    l2 = { size_kb = 512; ways = 8; line_bytes = 64; hit_latency = 14 };
+    mshrs = 2;
+    mem_latency = 40;
+    l2_latency = 14;
+    branch_predictor = "uBTB+BTB+TAGE";
+    bus_protocol = "TileLink";
+    exception_policy = Lazy_at_commit;
+    mispredict_penalty = 10;
+    fanout = boom_fanout;
+  }
+
+let nutshell =
+  {
+    name = "nutshell";
+    isa = "RV64 IMAC/Zicsr/Zifencei";
+    privilege = "U/S/M";
+    pipeline_stages = 9;
+    fetch_width = 2;
+    fetch_buffer = 8;
+    decode_width = 2;
+    commit_width = 2;
+    rob_entries = 32;
+    int_phys_regs = 32;
+    fp_phys_regs = None;
+    int_alus = 2;
+    mem_units = 1;
+    fp_units = None;
+    ldq_entries = None;
+    stq_entries = 8;
+    unified_mdu = true;
+    wb_ports = 1;
+    icache = { size_kb = 32; ways = 4; line_bytes = 64; hit_latency = 1 };
+    dcache = { size_kb = 32; ways = 4; line_bytes = 64; hit_latency = 2 };
+    l2 = { size_kb = 128; ways = 8; line_bytes = 64; hit_latency = 10 };
+    mshrs = 0;
+    mem_latency = 30;
+    l2_latency = 10;
+    branch_predictor = "BTB+PHT";
+    bus_protocol = "SimpleBus+AXI4";
+    exception_policy = Early_at_execute;
+    mispredict_penalty = 9;
+    fanout = nutshell_fanout;
+  }
+
+let by_name = function
+  | "boom" -> Some boom
+  | "nutshell" -> Some nutshell
+  | _ -> None
+
+let fanout_of t name =
+  (* Runtime points are registered with a per-core "c<k>." prefix; the
+     fanout table is keyed by the bare point name. *)
+  let bare =
+    if String.length name > 3 && name.[0] = 'c' && String.contains name '.' then
+      let dot = String.index name '.' in
+      if
+        dot >= 2
+        && String.for_all
+             (fun ch -> ch >= '0' && ch <= '9')
+             (String.sub name 1 (dot - 1))
+      then String.sub name (dot + 1) (String.length name - dot - 1)
+      else name
+    else name
+  in
+  match List.assoc_opt bare t.fanout with Some f -> f | None -> 1
+
+let pp fmt t =
+  let opt_int = function Some v -> string_of_int v | None -> "-" in
+  Format.fprintf fmt
+    "@[<v>%-18s %s@,%-18s %s@,%-18s %s@,%-18s %d@,%-18s %d@,%-18s %d@,\
+     %-18s %s@,%-18s %d/%s@,%-18s %d/%s/%d@,%-18s %d@,%-18s %s/%d@,\
+     %-18s %d/%dKB@,%-18s %d@,%-18s %d KB@,%-18s %s@]"
+    "Name" t.name "Supported ISA" t.isa "Privilege" t.privilege
+    "Pipeline Stages" t.pipeline_stages "Fetch Width" t.fetch_width
+    "Fetch Buffer" t.fetch_buffer "BrPred" t.branch_predictor
+    "Int/Fp PhyRegs" t.int_phys_regs (opt_int t.fp_phys_regs)
+    "Mem/Fp/Int Func" t.mem_units (opt_int t.fp_units) t.int_alus
+    "ROB Entry" t.rob_entries "Ld/St Queue"
+    (match t.ldq_entries with Some n -> string_of_int n | None -> "-")
+    t.stq_entries "I/DCache" t.icache.size_kb t.dcache.size_kb "L1 MSHR"
+    t.mshrs "L2 Cache" t.l2.size_kb "Bus Protocol" t.bus_protocol

@@ -1,0 +1,65 @@
+(** Processor configurations (paper Table 1).
+
+    Two presets model the evaluated DUTs: {!boom} (BOOM-like: wide fetch,
+    large ROB, separate pipelined IMUL and unpipelined DIV units, MSHRs,
+    TileLink interconnect, lazy exception handling) and {!nutshell}
+    (NutShell-like: narrow, small ROB, unified non-pipelined MDU, no MSHRs,
+    early exception detection). *)
+
+type exception_policy =
+  | Lazy_at_commit
+      (** faults raised when the instruction reaches the commit head (BOOM) —
+          a wide transient window for Meltdown-style leakage *)
+  | Early_at_execute
+      (** faults squash the pipeline as soon as the instruction executes
+          (NutShell) — transient window barely opens (§8.5: accuracy <2%) *)
+
+type cache_cfg = {
+  size_kb : int;
+  ways : int;
+  line_bytes : int;
+  hit_latency : int;
+}
+
+type t = {
+  name : string;
+  isa : string;
+  privilege : string;
+  pipeline_stages : int;
+  fetch_width : int;
+  fetch_buffer : int;
+  decode_width : int;
+  commit_width : int;
+  rob_entries : int;
+  int_phys_regs : int;
+  fp_phys_regs : int option;
+  int_alus : int;
+  mem_units : int;
+  fp_units : int option;
+  ldq_entries : int option;
+  stq_entries : int;
+  unified_mdu : bool;  (** NutShell: one non-pipelined unit for MUL and DIV *)
+  wb_ports : int;  (** shared execution-unit response ports *)
+  icache : cache_cfg;
+  dcache : cache_cfg;
+  l2 : cache_cfg;
+  mshrs : int;  (** 0 = misses handled one at a time, blocking *)
+  mem_latency : int;  (** cycles from L2 miss to data *)
+  l2_latency : int;
+  branch_predictor : string;
+  bus_protocol : string;
+  exception_policy : exception_policy;
+  mispredict_penalty : int;
+  (* Netlist fanout: how many netlist-level MUX contention points each
+     runtime arbitration site corresponds to (see DESIGN.md §1). *)
+  fanout : (string * int) list;
+}
+
+val boom : t
+val nutshell : t
+val by_name : string -> t option
+val fanout_of : t -> string -> int
+(** Fanout of a runtime contention point (1 when unlisted). *)
+
+val pp : Format.formatter -> t -> unit
+(** Render the Table 1 column for this configuration. *)

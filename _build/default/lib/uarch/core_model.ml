@@ -1,0 +1,727 @@
+open Sonar_isa
+
+type commit_record = {
+  c_eff : Golden.effect;
+  c_cycle : int;
+  c_dispatch : int;
+}
+
+type uop_state = Dispatched | Issued | Wait_mem | Exec_done | Done
+
+type uop = {
+  eff : Golden.effect;
+  trace_pos : int;  (* -1 for transient micro-ops *)
+  transient : bool;
+  secret_dep : bool;
+  id : int;
+  mutable state : uop_state;
+  mutable complete_at : int;
+  mutable dispatch_cycle : int;
+  mutable mispredicted : bool;
+  mutable resolved_target : int64;  (* actual target, for predictor training *)
+  mutable tainted : bool;
+      (* secret-dependent, directly (static region / transient) or through
+         a register data dependency resolved at dispatch *)
+}
+
+type fetch_source = Arch | Trans of Golden.effect array * int
+
+type stbuf_state = Drain_new | Drain_waiting
+
+type stbuf_entry = {
+  sb_uop : uop;
+  mutable sb_state : stbuf_state;
+}
+
+type t = {
+  cfg : Config.t;
+  reg : Cpoint.registry;
+  ms : Memsys.t;
+  core_id : int;
+  trace : Golden.effect array;
+  transients : (int, Golden.effect array) Hashtbl.t;
+  secret_range : (int * int) option;
+  drives_window : bool;
+  secret_total : int;
+  mutable secret_committed : int;
+  (* Fetch state *)
+  mutable fetch_pos : int;
+  mutable fetch_source : fetch_source;
+  mutable fetch_stall_until : int;
+  mutable fetch_halted : bool;
+  mutable blocked_on_branch : int option;  (* uop id *)
+  line_avail : (int64, int) Hashtbl.t;
+  line_pending : (int64, unit) Hashtbl.t;
+  (* Pipeline structures (oldest first). *)
+  mutable fb : uop list;
+  mutable rob : uop list;
+  mutable stbuf : stbuf_entry list;
+  by_id : (int, uop) Hashtbl.t;
+  taint_reg : bool array;  (* architectural-register taint, dispatch order *)
+  mutable next_id : int;
+  pool : Exec_unit.t;
+  bp : Branch_pred.t;
+  (* Results *)
+  mutable commit_log : commit_record list;  (* reverse order *)
+  mutable transient_issued : int;
+  mutable cycles : int;
+  mutable pending_early_squash : uop option;
+  (* Contention points owned by the core. *)
+  p_fb_enq : Cpoint.t;
+  p_pc_sel : Cpoint.t;
+  p_icache_mshr : Cpoint.t;
+  p_bpd_update : Cpoint.t;
+  p_rob_enq : Cpoint.t;
+  p_rob_commit : Cpoint.t;
+  p_rob_exception : Cpoint.t;
+  p_ldq_stq : Cpoint.t;
+  p_stq_drain : Cpoint.t;
+}
+
+let count_secret trace range =
+  match range with
+  | None -> 0
+  | Some (lo, hi) ->
+      Array.fold_left
+        (fun acc (e : Golden.effect) ->
+          if e.index >= lo && e.index <= hi then acc + 1 else acc)
+        0 trace
+
+let create cfg reg ms ~core_id ~outcome ~secret_range ~drives_window =
+  let open Sonar_ir.Component in
+  let pt ?single_valid ?persistent_subs name component sources =
+    Cpoint.point reg
+      ~name:(Printf.sprintf "c%d.%s" core_id name)
+      ~component ~sources ?persistent_subs ?single_valid ()
+  in
+  let transients = Hashtbl.create 4 in
+  List.iter
+    (fun (pos, cont) -> Hashtbl.replace transients pos cont)
+    outcome.Golden.transients;
+  let t =
+    {
+      cfg;
+      reg;
+      ms;
+      core_id;
+      trace = outcome.Golden.trace;
+      transients;
+      secret_range;
+      drives_window;
+      secret_total = count_secret outcome.Golden.trace secret_range;
+      secret_committed = 0;
+      fetch_pos = 0;
+      fetch_source = Arch;
+      fetch_stall_until = 0;
+      fetch_halted = false;
+      blocked_on_branch = None;
+      line_avail = Hashtbl.create 32;
+      line_pending = Hashtbl.create 8;
+      fb = [];
+      rob = [];
+      stbuf = [];
+      by_id = Hashtbl.create 64;
+      taint_reg = Array.make 32 false;
+      next_id = 0;
+      pool = Exec_unit.create cfg reg ~core:core_id;
+      bp = Branch_pred.create cfg;
+      commit_log = [];
+      transient_issued = 0;
+      cycles = 0;
+      pending_early_squash = None;
+      p_fb_enq =
+        pt ~single_valid:true "frontend.fb_enq" Frontend
+          (List.init cfg.fetch_width (Printf.sprintf "slot%d"));
+      p_pc_sel = pt "frontend.pc_sel" Frontend [ "seq"; "branch"; "exception" ];
+      p_icache_mshr = pt "icache.mshr" Frontend [ "fetch_miss" ];
+      p_bpd_update = pt "bpd.update" Frontend [ "update" ];
+      p_rob_enq =
+        pt ~single_valid:true "rob.enq" Rob
+          (List.init cfg.decode_width (Printf.sprintf "slot%d"));
+      p_rob_commit =
+        pt ~single_valid:true "rob.commit" Rob
+          (List.init cfg.commit_width (Printf.sprintf "slot%d"));
+      p_rob_exception = pt "rob.exception" Rob [ "exception" ];
+      p_ldq_stq = pt "lsu.ldq_stq_idx" Lsu [ "load"; "store" ];
+      p_stq_drain = pt "stq.drain" Lsu [ "drain_valid" ];
+    }
+  in
+  (* With no secret-dependent region the whole run is the window. *)
+  if drives_window && secret_range = None then Cpoint.open_window reg;
+  t
+
+let line_of t pc =
+  Int64.logand pc (Int64.lognot (Int64.of_int (t.cfg.icache.line_bytes - 1)))
+
+(* --- Fetch --- *)
+
+let peek_next t =
+  match t.fetch_source with
+  | Arch ->
+      if t.fetch_pos < Array.length t.trace then
+        Some (t.trace.(t.fetch_pos), t.fetch_pos, false)
+      else None
+  | Trans (cont, idx) ->
+      if idx < Array.length cont then Some (cont.(idx), -1, true) else None
+
+let consume_next t =
+  match t.fetch_source with
+  | Arch -> t.fetch_pos <- t.fetch_pos + 1
+  | Trans (cont, idx) -> t.fetch_source <- Trans (cont, idx + 1)
+
+let is_secret_dep t (eff : Golden.effect) =
+  match t.secret_range with
+  | Some (lo, hi) -> eff.index >= lo && eff.index <= hi
+  | None -> false
+
+let next_pc_after t pos (eff : Golden.effect) =
+  (* Actual next PC, for jump-target prediction. *)
+  match t.fetch_source with
+  | Arch when pos >= 0 && pos + 1 < Array.length t.trace -> t.trace.(pos + 1).pc
+  | Arch | Trans _ -> Int64.add eff.pc 4L
+
+let line_ready t line ~cycle ~tainted =
+  match Hashtbl.find_opt t.line_avail line with
+  | Some c -> c <= cycle
+  | None ->
+      if Hashtbl.mem t.line_pending line then begin
+        match Memsys.ifetch_ready t.ms ~core:t.core_id ~addr:line with
+        | Some c ->
+            Hashtbl.remove t.line_pending line;
+            Hashtbl.replace t.line_avail line c;
+            c <= cycle
+        | None -> false
+      end
+      else begin
+        match Memsys.ifetch t.ms ~core:t.core_id ~addr:line ~cycle ~tainted with
+        | Memsys.Ready c ->
+            Hashtbl.replace t.line_avail line c;
+            c <= cycle
+        | Memsys.Waiting ->
+            Cpoint.request ~tainted t.reg t.p_icache_mshr ~source:0 ~data:line;
+            Hashtbl.replace t.line_pending line ();
+            false
+        | Memsys.Blocked _ -> false
+      end
+
+let fb_count t = List.length t.fb
+
+let make_uop t eff trace_pos transient ~cycle =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  let u =
+    {
+      eff;
+      trace_pos;
+      transient;
+      secret_dep = is_secret_dep t eff;
+      id;
+      state = Dispatched;
+      complete_at = max_int;
+      dispatch_cycle = cycle;
+      mispredicted = false;
+      resolved_target = 0L;
+      tainted = is_secret_dep t eff || transient;
+    }
+  in
+  Hashtbl.replace t.by_id id u;
+  u
+
+let step_fetch t ~cycle =
+  if
+    t.fetch_halted || cycle < t.fetch_stall_until
+    || t.blocked_on_branch <> None
+  then ()
+  else begin
+    let budget = ref t.cfg.fetch_width in
+    let fetched_any = ref false in
+    let fetched_tainted = ref false in
+    let stop = ref false in
+    while (not !stop) && !budget > 0 && fb_count t < t.cfg.fetch_buffer do
+      match peek_next t with
+      | None -> stop := true
+      | Some (eff, pos, transient) ->
+          let static_taint = is_secret_dep t eff || transient in
+          let line = line_of t eff.pc in
+          if not (line_ready t line ~cycle ~tainted:static_taint) then stop := true
+          else begin
+            consume_next t;
+            let u = make_uop t eff pos transient ~cycle in
+            let slot = t.cfg.fetch_width - !budget in
+            Cpoint.request ~tainted:u.tainted t.reg t.p_fb_enq ~source:slot
+              ~data:eff.pc;
+            t.fb <- t.fb @ [ u ];
+            decr budget;
+            fetched_any := true;
+            if u.tainted then fetched_tainted := true;
+            (* Branch prediction. *)
+            (match eff.instr with
+            | Instr.Branch (_, _, _, off) ->
+                Cpoint.request ~tainted:u.tainted t.reg t.p_bpd_update ~source:0
+                  ~data:eff.pc;
+                let taken = Option.value ~default:false eff.taken in
+                let target = Int64.add eff.pc (Int64.of_int off) in
+                u.resolved_target <- target;
+                let correct = Branch_pred.predict t.bp ~pc:eff.pc ~taken ~target in
+                if not correct then begin
+                  u.mispredicted <- true;
+                  t.blocked_on_branch <- Some u.id;
+                  stop := true
+                end
+            | Instr.Jal (_, off) ->
+                let target = Int64.add eff.pc (Int64.of_int off) in
+                u.resolved_target <- target;
+                if not (Branch_pred.predict_jump t.bp ~pc:eff.pc ~target) then begin
+                  u.mispredicted <- true;
+                  t.blocked_on_branch <- Some u.id;
+                  stop := true
+                end
+            | Instr.Jalr _ ->
+                let target = next_pc_after t pos eff in
+                u.resolved_target <- target;
+                if not (Branch_pred.predict_jump t.bp ~pc:eff.pc ~target) then begin
+                  u.mispredicted <- true;
+                  t.blocked_on_branch <- Some u.id;
+                  stop := true
+                end
+            | _ -> ());
+            (* Architectural faults fork the transient continuation. *)
+            (if (not transient) && pos >= 0 then
+               match eff.fault with
+               | Some (Golden.Load_access_fault | Golden.Store_access_fault) -> (
+                   match Hashtbl.find_opt t.transients pos with
+                   | Some cont -> t.fetch_source <- Trans (cont, 0)
+                   | None -> ())
+               | Some _ | None -> ());
+            if eff.instr = Instr.Ebreak && not transient then begin
+              t.fetch_halted <- true;
+              stop := true
+            end
+          end
+    done;
+    if !fetched_any then
+      Cpoint.request ~tainted:!fetched_tainted t.reg t.p_pc_sel ~source:0
+        ~data:(Int64.of_int cycle)
+  end
+
+(* --- Dispatch --- *)
+
+let dests_in_flight t =
+  List.length
+    (List.filter (fun u -> Option.is_some (Instr.dest u.eff.Golden.instr)) t.rob)
+
+let loads_in_flight t =
+  List.length (List.filter (fun u -> Instr.is_load u.eff.Golden.instr) t.rob)
+
+let stores_in_flight t =
+  List.length (List.filter (fun u -> Instr.is_store u.eff.Golden.instr) t.rob)
+  + List.length t.stbuf
+
+let step_dispatch t ~cycle =
+  let phys_budget = max 8 (t.cfg.int_phys_regs - 32) in
+  let budget = ref t.cfg.decode_width in
+  let stop = ref false in
+  while (not !stop) && !budget > 0 do
+    match t.fb with
+    | [] -> stop := true
+    | u :: rest ->
+        let rob_full = List.length t.rob >= t.cfg.rob_entries in
+        let phys_full =
+          Option.is_some (Instr.dest u.eff.Golden.instr)
+          && dests_in_flight t >= phys_budget
+        in
+        let ldq_full =
+          Instr.is_load u.eff.Golden.instr
+          &&
+          match t.cfg.ldq_entries with
+          | Some n -> loads_in_flight t >= n
+          | None -> false
+        in
+        let stq_full =
+          Instr.is_store u.eff.Golden.instr
+          && stores_in_flight t >= t.cfg.stq_entries
+        in
+        if rob_full || phys_full || ldq_full || stq_full then stop := true
+        else begin
+          t.fb <- rest;
+          u.dispatch_cycle <- cycle;
+          (* Forward dataflow taint: dispatch happens in program order. *)
+          u.tainted <-
+            u.tainted
+            || List.exists
+                 (fun r -> t.taint_reg.(Reg.to_int r))
+                 (Instr.sources u.eff.Golden.instr);
+          (match Instr.dest u.eff.Golden.instr with
+          | Some d -> t.taint_reg.(Reg.to_int d) <- u.tainted
+          | None -> ());
+          t.rob <- t.rob @ [ u ];
+          let slot = t.cfg.decode_width - !budget in
+          Cpoint.request ~tainted:u.tainted t.reg t.p_rob_enq ~source:slot
+            ~data:u.eff.Golden.pc;
+          decr budget;
+          if t.drives_window && u.secret_dep && not (Cpoint.window_open t.reg)
+          then Cpoint.open_window t.reg
+        end
+  done
+
+(* --- Operand readiness --- *)
+
+let producer_of t u reg_src =
+  (* Youngest older uop in the ROB writing [reg_src]. *)
+  List.fold_left
+    (fun acc v ->
+      if v.id < u.id then
+        match Instr.dest v.eff.Golden.instr with
+        | Some d when Reg.equal d reg_src -> (
+            match acc with
+            | Some best when best.id > v.id -> acc
+            | Some _ | None -> Some v)
+        | Some _ | None -> acc
+      else acc)
+    None t.rob
+
+let value_ready v ~cycle =
+  match v.state with
+  | Exec_done | Done -> v.complete_at <= cycle
+  | Dispatched | Issued | Wait_mem -> false
+
+let operands_ready t u ~cycle =
+  List.for_all
+    (fun r ->
+      Reg.equal r Reg.x0
+      ||
+      match producer_of t u r with
+      | Some v -> value_ready v ~cycle
+      | None -> true)
+    (Instr.sources u.eff.Golden.instr)
+
+(* Older store to the same 8-byte word: forwarding source or hazard. *)
+let older_store_same_addr t u =
+  match u.eff.Golden.mem with
+  | None -> None
+  | Some m ->
+      let word a = Int64.logand a (-8L) in
+      List.fold_left
+        (fun acc v ->
+          if v.id < u.id && Instr.is_store v.eff.Golden.instr then
+            match v.eff.Golden.mem with
+            | Some vm when Int64.equal (word vm.addr) (word m.addr) -> Some v
+            | Some _ | None -> acc
+          else acc)
+        None t.rob
+
+let in_store_buffer t addr =
+  let word a = Int64.logand a (-8L) in
+  List.exists
+    (fun e ->
+      match e.sb_uop.eff.Golden.mem with
+      | Some m -> Int64.equal (word m.addr) (word addr)
+      | None -> false)
+    t.stbuf
+
+(* --- Issue --- *)
+
+type op_class = Class_alu | Class_mul | Class_div | Class_load | Class_store
+
+let classify (i : Instr.t) =
+  match i with
+  | Instr.Rtype ((MUL | MULH | MULHSU | MULHU | MULW), _, _, _) -> Class_mul
+  | Instr.Rtype ((DIV | DIVU | REM | REMU | DIVW | DIVUW | REMW | REMUW), _, _, _)
+    ->
+      Class_div
+  | _ when Instr.is_load i -> Class_load
+  | _ when Instr.is_store i -> Class_store
+  | _ -> Class_alu
+
+let operand_magnitude (u : uop) =
+  match u.eff.Golden.wb with Some (_, v) -> v | None -> 1024L
+
+let is_access_fault = function
+  | Some (Golden.Load_access_fault | Golden.Store_access_fault) -> true
+  | Some _ | None -> false
+
+let step_issue t ~cycle =
+  List.iter
+    (fun u ->
+      if u.state = Dispatched && operands_ready t u ~cycle then begin
+        let early_fault =
+          is_access_fault u.eff.Golden.fault
+          && t.cfg.exception_policy = Config.Early_at_execute
+          && not u.transient
+        in
+        match classify u.eff.Golden.instr with
+        | Class_alu ->
+            (match Exec_unit.try_issue_alu t.pool ~cycle ~tainted:u.tainted with
+            | Some c ->
+                u.state <- Issued;
+                u.complete_at <- c;
+                if u.transient then t.transient_issued <- t.transient_issued + 1
+            | None -> ())
+        | Class_mul ->
+            (match
+               Exec_unit.try_issue_mul t.pool ~cycle ~operand:(operand_magnitude u)
+                 ~tainted:u.tainted
+             with
+            | Some c ->
+                u.state <- Issued;
+                u.complete_at <- c;
+                if u.transient then t.transient_issued <- t.transient_issued + 1
+            | None -> ())
+        | Class_div ->
+            (match
+               Exec_unit.try_issue_div t.pool ~cycle ~operand:(operand_magnitude u)
+                 ~tainted:u.tainted
+             with
+            | Some c ->
+                u.state <- Issued;
+                u.complete_at <- c;
+                if u.transient then t.transient_issued <- t.transient_issued + 1
+            | None -> ())
+        | Class_store ->
+            if Exec_unit.try_issue_mem t.pool ~cycle ~tainted:u.tainted then begin
+              Cpoint.request ~tainted:u.tainted t.reg t.p_ldq_stq ~source:1
+                ~data:u.eff.Golden.pc;
+              u.state <- Issued;
+              u.complete_at <- cycle + 1;
+              if u.transient then t.transient_issued <- t.transient_issued + 1;
+              if early_fault && t.pending_early_squash = None then
+                t.pending_early_squash <- Some u
+            end
+        | Class_load ->
+            if Exec_unit.try_issue_mem t.pool ~cycle ~tainted:u.tainted then begin
+              Cpoint.request ~tainted:u.tainted t.reg t.p_ldq_stq ~source:0
+                ~data:u.eff.Golden.pc;
+              if early_fault then begin
+                u.state <- Issued;
+                u.complete_at <- cycle + 1;
+                if u.transient then t.transient_issued <- t.transient_issued + 1;
+                if t.pending_early_squash = None then
+                  t.pending_early_squash <- Some u
+              end
+              else begin
+                match older_store_same_addr t u with
+                | Some v ->
+                    if value_ready v ~cycle then begin
+                      (* Store-to-load forwarding. *)
+                      u.state <- Issued;
+                      u.complete_at <- cycle + 1;
+                      if u.transient then
+                        t.transient_issued <- t.transient_issued + 1
+                    end
+                    (* Hazard: stay Dispatched, mem slot wasted this cycle. *)
+                | None -> (
+                    let addr =
+                      match u.eff.Golden.mem with
+                      | Some m -> m.addr
+                      | None -> 0L
+                    in
+                    if in_store_buffer t addr then begin
+                      u.state <- Issued;
+                      u.complete_at <- cycle + 1;
+                      if u.transient then
+                        t.transient_issued <- t.transient_issued + 1
+                    end
+                    else
+                      match
+                        Memsys.dload t.ms ~core:t.core_id ~seq:u.id ~rob:u.id
+                          ~addr ~cycle ~tainted:u.tainted
+                      with
+                      | Memsys.Ready c ->
+                          u.state <- Issued;
+                          u.complete_at <- c;
+                          if u.transient then
+                            t.transient_issued <- t.transient_issued + 1
+                      | Memsys.Waiting ->
+                          u.state <- Wait_mem;
+                          if u.transient then
+                            t.transient_issued <- t.transient_issued + 1
+                      | Memsys.Blocked _ -> ())
+              end
+            end
+      end)
+    t.rob
+
+(* --- Squash --- *)
+
+let squash_younger t ~than_id =
+  let keep u = u.id <= than_id in
+  List.iter
+    (fun u -> if not (keep u) then Hashtbl.remove t.by_id u.id)
+    (t.rob @ t.fb);
+  t.rob <- List.filter keep t.rob;
+  t.fb <- List.filter keep t.fb;
+  Exec_unit.purge_writeback t.pool ~keep:(fun id -> id <= than_id);
+  (match t.blocked_on_branch with
+  | Some id when id > than_id -> t.blocked_on_branch <- None
+  | Some _ | None -> ())
+
+let handle_fault_redirect t u ~cycle =
+  Cpoint.request ~tainted:u.tainted t.reg t.p_rob_exception ~source:0
+    ~data:u.eff.Golden.pc;
+  Cpoint.request ~tainted:u.tainted t.reg t.p_pc_sel ~source:2
+    ~data:u.eff.Golden.pc;
+  squash_younger t ~than_id:u.id;
+  t.fetch_source <- Arch;
+  t.fetch_pos <- u.trace_pos + 1;
+  t.fetch_halted <- false;
+  t.fetch_stall_until <- cycle + t.cfg.mispredict_penalty
+
+(* --- Complete / writeback --- *)
+
+let wb_class_of u =
+  match classify u.eff.Golden.instr with
+  | Class_alu -> Exec_unit.Wb_alu
+  | Class_mul -> Exec_unit.Wb_mul
+  | Class_div -> Exec_unit.Wb_div
+  | Class_load | Class_store -> Exec_unit.Wb_mem
+
+let step_complete t ~cycle =
+  List.iter
+    (fun u ->
+      match u.state with
+      | Issued when u.complete_at <= cycle ->
+          (* Control resolves here: train the predictor, unblock fetch. *)
+          (match u.eff.Golden.instr with
+          | Instr.Branch _ ->
+              Branch_pred.update t.bp ~pc:u.eff.Golden.pc
+                ~taken:(Option.value ~default:false u.eff.Golden.taken)
+                ~target:u.resolved_target
+          | Instr.Jal _ | Instr.Jalr _ ->
+              Branch_pred.update_jump t.bp ~pc:u.eff.Golden.pc
+                ~target:u.resolved_target
+          | _ -> ());
+          if u.mispredicted then begin
+            t.blocked_on_branch <- None;
+            t.fetch_stall_until <- max t.fetch_stall_until (cycle + 2);
+            Cpoint.request ~tainted:u.tainted t.reg t.p_pc_sel ~source:1
+              ~data:u.eff.Golden.pc;
+            u.mispredicted <- false
+          end;
+          if
+            Instr.is_store u.eff.Golden.instr
+            && Option.is_none (Instr.dest u.eff.Golden.instr)
+          then u.state <- Done
+          else if Option.is_none (Instr.dest u.eff.Golden.instr) then
+            u.state <- Done
+          else begin
+            u.state <- Exec_done;
+            Exec_unit.request_writeback t.pool (wb_class_of u) ~id:u.id ~cycle
+              ~tainted:u.tainted
+          end
+      | Wait_mem -> (
+          match Memsys.load_ready t.ms ~core:t.core_id ~rob:u.id with
+          | Some c when c <= cycle ->
+              u.complete_at <- c;
+              if u.mispredicted then begin
+                t.blocked_on_branch <- None;
+                t.fetch_stall_until <- max t.fetch_stall_until (cycle + 2);
+                u.mispredicted <- false
+              end;
+              u.state <- Exec_done;
+              Exec_unit.request_writeback t.pool (wb_class_of u) ~id:u.id ~cycle
+                ~tainted:u.tainted
+          | Some _ | None -> ())
+      | Dispatched | Issued | Exec_done | Done -> ())
+    t.rob
+
+let step_writeback t ~cycle =
+  let granted = Exec_unit.arbitrate_writeback t.pool ~cycle in
+  List.iter
+    (fun id ->
+      match Hashtbl.find_opt t.by_id id with
+      | Some u when u.state = Exec_done ->
+          u.state <- Done;
+          u.complete_at <- min u.complete_at cycle
+      | Some _ | None -> ())
+    granted
+
+(* --- Commit --- *)
+
+let step_commit t ~cycle =
+  let budget = ref t.cfg.commit_width in
+  let stop = ref false in
+  while (not !stop) && !budget > 0 do
+    match t.rob with
+    | u :: rest when u.state = Done && u.complete_at <= cycle ->
+        assert (not u.transient);
+        t.rob <- rest;
+        Hashtbl.remove t.by_id u.id;
+        let slot = t.cfg.commit_width - !budget in
+        Cpoint.request ~tainted:u.tainted t.reg t.p_rob_commit ~source:slot
+          ~data:u.eff.Golden.pc;
+        decr budget;
+        t.commit_log <-
+          { c_eff = u.eff; c_cycle = cycle; c_dispatch = u.dispatch_cycle }
+          :: t.commit_log;
+        if Instr.is_store u.eff.Golden.instr then
+          t.stbuf <- t.stbuf @ [ { sb_uop = u; sb_state = Drain_new } ];
+        if u.secret_dep then begin
+          t.secret_committed <- t.secret_committed + 1;
+          if t.drives_window && t.secret_committed >= t.secret_total then
+            Cpoint.close_window t.reg
+        end;
+        (* Lazy exception handling: the squash happens here. *)
+        if
+          is_access_fault u.eff.Golden.fault
+          && t.cfg.exception_policy = Config.Lazy_at_commit
+        then begin
+          handle_fault_redirect t u ~cycle;
+          stop := true
+        end
+    | _ -> stop := true
+  done
+
+(* --- Store buffer drain --- *)
+
+let step_stbuf t ~cycle =
+  match t.stbuf with
+  | [] -> ()
+  | entry :: rest -> (
+      let u = entry.sb_uop in
+      let addr = match u.eff.Golden.mem with Some m -> m.addr | None -> 0L in
+      let is_sc =
+        match u.eff.Golden.instr with Instr.Sc_d _ -> true | _ -> false
+      in
+      match entry.sb_state with
+      | Drain_new -> (
+          Cpoint.request ~tainted:u.tainted t.reg t.p_stq_drain ~source:0
+            ~data:addr;
+          match
+            Memsys.dstore t.ms ~core:t.core_id ~seq:u.id ~rob:u.id ~addr ~is_sc
+              ~cycle ~tainted:u.tainted
+          with
+          | Memsys.Ready _ -> t.stbuf <- rest
+          | Memsys.Waiting -> entry.sb_state <- Drain_waiting
+          | Memsys.Blocked _ -> ())
+      | Drain_waiting -> (
+          match Memsys.store_ready t.ms ~core:t.core_id ~rob:u.id with
+          | Some c when c <= cycle -> t.stbuf <- rest
+          | Some _ | None -> ()))
+
+(* --- Top level --- *)
+
+let step t ~cycle =
+  t.cycles <- cycle;
+  Exec_unit.new_cycle t.pool ~cycle;
+  step_complete t ~cycle;
+  step_writeback t ~cycle;
+  step_commit t ~cycle;
+  step_issue t ~cycle;
+  (match t.pending_early_squash with
+  | Some u ->
+      t.pending_early_squash <- None;
+      handle_fault_redirect t u ~cycle
+  | None -> ());
+  step_stbuf t ~cycle;
+  step_dispatch t ~cycle;
+  step_fetch t ~cycle
+
+let fetch_done t =
+  match t.fetch_source with
+  | Arch -> t.fetch_halted || t.fetch_pos >= Array.length t.trace
+  | Trans _ -> false
+
+let finished t = fetch_done t && t.fb = [] && t.rob = [] && t.stbuf = []
+let commits t = List.rev t.commit_log
+let transient_executed t = t.transient_issued
+let cycles_run t = t.cycles

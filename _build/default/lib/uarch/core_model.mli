@@ -1,0 +1,52 @@
+(** Cycle-accurate out-of-order core timing model.
+
+    Trace-driven: the golden model supplies the dynamic instruction stream
+    (architectural trace plus, for every faulting instruction, the
+    transient sequential continuation with forwarded data). The pipeline
+    model fetches through the ICache, dispatches into a ROB, issues
+    out-of-order under resource constraints (ALUs, multiplier, divider,
+    memory unit, writeback ports), accesses the shared memory system, and
+    commits in order, recording each architectural instruction's commit
+    cycle — the raw signal behind the CCD metric (§7.1).
+
+    Exception policy follows the configuration: with {!Config.Lazy_at_commit}
+    a faulting instruction squashes younger (transient) work only when it
+    reaches the commit head; with {!Config.Early_at_execute} the squash
+    happens as soon as it issues, keeping the transient window shut. *)
+
+type commit_record = {
+  c_eff : Sonar_isa.Golden.effect;
+  c_cycle : int;  (** commit cycle *)
+  c_dispatch : int;  (** cycle the instruction entered the ROB *)
+}
+
+type t
+
+val create :
+  Config.t ->
+  Cpoint.registry ->
+  Memsys.t ->
+  core_id:int ->
+  outcome:Sonar_isa.Golden.outcome ->
+  secret_range:(int * int) option ->
+  drives_window:bool ->
+  t
+(** [secret_range]: static instruction-index range of the secret-dependent
+    region; the core opens the registry's monitoring window when the first
+    such instruction dispatches and closes it when the last commits
+    (when [drives_window]). With no range the window opens at cycle 0. *)
+
+val step : t -> cycle:int -> unit
+(** Advance all pipeline stages by one cycle. *)
+
+val finished : t -> bool
+(** Trace fully committed and all buffers drained. *)
+
+val commits : t -> commit_record list
+(** Committed architectural instructions in commit order. *)
+
+val transient_executed : t -> int
+(** Transient micro-ops that issued before being squashed (the size of the
+    Meltdown window actually exploited). *)
+
+val cycles_run : t -> int

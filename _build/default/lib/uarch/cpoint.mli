@@ -1,0 +1,121 @@
+(** Runtime contention points and their registry.
+
+    Every arbitration site in the timing models (TileLink D-channel grant,
+    writeback-port select, MSHR allocation, line-buffer port, ...) registers
+    a contention point and reports request/grant activity each cycle. The
+    registry tracks, inside the monitoring window (§6.1):
+
+    - per-source valid-request counts;
+    - minimum pairwise interval between valid requests from distinct
+      sources ([reqsIntvl]) and minimum same-source consecutive interval;
+    - triggered {e volatile} sub-points (a source pair that requested in the
+      same cycle) and {e persistent} sub-points (reported explicitly by
+      storage-like resources, keyed by e.g. cache set);
+    - an order-sensitive digest of the event stream, used by the detector's
+      contention-state differential comparison (§7.2).
+
+    Each point carries a netlist [fanout] (how many netlist MUX points it
+    maps to, see DESIGN.md); a triggered sub-point contributes
+    [fanout / max_subs] netlist points to coverage, which reproduces the
+    cluster-shaped growth of Figure 8. *)
+
+type kind = Volatile | Persistent
+
+val data_buckets : int
+(** Data classes per source pair: a volatile sub-point id is
+    [pair * data_buckets + bucket]. *)
+
+type t = private {
+  name : string;
+  component : Sonar_ir.Component.t;
+  fanout : int;
+  max_subs : int;  (** volatile pairs + declared persistent subs *)
+  single_valid : bool;
+      (** the requests are themselves the valid signals (slot-style points) —
+          the class Figure 9 reports as dominating early contentions *)
+  sources : string array;
+  last_valid : int array;  (** per source; -1 = never *)
+  hits : int array;  (** in-window valid requests per source *)
+  mutable min_pair : int option;
+  mutable min_self : int option;
+  mutable single_valid_dominated : bool;
+      (** every in-window event so far came from one source (Figure 9) *)
+  triggered : (kind * int, unit) Hashtbl.t;
+  pair_min : (int, int) Hashtbl.t;
+      (** per risky source pair, the minimum interval observed — the
+          fuzzer's per-pair convergence targets *)
+  last_tainted : bool array;
+      (** was each source's most recent request secret-dependent *)
+  mutable digest : int;
+  mutable event_count : int;
+}
+
+type registry
+
+val create : Config.t -> registry
+
+val point :
+  registry ->
+  name:string ->
+  component:Sonar_ir.Component.t ->
+  sources:string list ->
+  ?persistent_subs:int ->
+  ?single_valid:bool ->
+  unit ->
+  t
+(** Get-or-create. [persistent_subs] declares how many persistent sub-points
+    exist (e.g. cache sets); volatile sub-points are the source pairs. A
+    single-source point triggers on its first in-window request (the
+    "dominated by a single valid signal" class of Figure 9). *)
+
+val request : registry -> t -> tainted:bool -> source:int -> data:int64 -> unit
+(** Report a valid request this cycle from [source]. [tainted] marks a
+    request derived from secret-dependent instructions; only contention
+    involving at least one tainted request is {e risky} (secret-dependent,
+    §6.1) — pair intervals and triggers are recorded for risky pairs only. *)
+
+val grant : registry -> t -> source:int -> unit
+(** Report the arbitration winner (folded into the digest). *)
+
+val persistent :
+  registry -> t -> tainted:bool -> source:int -> sub:int -> data:int64 -> unit
+(** Report a persistent-contention event on sub-point [sub]. Only tainted
+    events count as triggers (untainted ones still feed the digest). *)
+
+val set_cycle : registry -> int -> unit
+val open_window : registry -> unit
+val close_window : registry -> unit
+val window_open : registry -> bool
+val window_bounds : registry -> (int * int) option
+(** First and last cycle the window was open, once closed. *)
+
+val points : registry -> t list
+
+val triggered_weight : t -> float
+(** Netlist contention points this point contributes to coverage:
+    [fanout × triggered_subs / max_subs]. *)
+
+val triggered_subs : t -> (kind * int) list
+
+val pair_intervals : t -> (int * int) list
+(** Sorted (pair id, minimum interval) pairs observed in the window. *)
+
+val pair_name : t -> int -> string
+(** Human-readable source pair, e.g. ["dread-iread"]. *)
+
+type snapshot = {
+  point_name : string;
+  s_hits : int array;
+  s_min_pair : int option;
+  s_min_self : int option;
+  s_triggered : (kind * int) list;
+  s_digest : int;
+}
+
+val snapshot : t -> snapshot
+val snapshots : registry -> snapshot list
+
+val diff_snapshots : snapshot list -> snapshot list -> (string * string) list
+(** Contention-state discrepancies between two runs, as
+    [(point name, human-readable difference)] pairs — the lower table of the
+    paper's Figure 5. *)

@@ -1,0 +1,87 @@
+type core_input = {
+  program : Sonar_isa.Program.t;
+  secret_range : (int * int) option;
+}
+
+type core_result = {
+  commits : Core_model.commit_record list;
+  transient_executed : int;
+}
+
+type result = {
+  cores : core_result array;
+  cycles : int;
+  snapshots : Cpoint.snapshot list;
+  window : (int * int) option;
+  point_stats : point_stat list;
+  hit_cycle_limit : bool;
+}
+
+and point_stat = {
+  ps_name : string;
+  ps_component : Sonar_ir.Component.t;
+  ps_fanout : int;
+  ps_max_subs : int;
+  ps_single_valid : bool;
+  ps_min_pair : int option;
+  ps_triggered : (Cpoint.kind * int) list;
+  ps_weight : float;
+  ps_pair_intervals : (int * int) list;
+  ps_n_sources : int;
+}
+
+let default_max_cycles = 200_000
+
+let point_stat (p : Cpoint.t) =
+  {
+    ps_name = p.name;
+    ps_component = p.component;
+    ps_fanout = p.fanout;
+    ps_max_subs = p.max_subs;
+    ps_n_sources = Array.length p.sources;
+    ps_single_valid = p.single_valid;
+    ps_min_pair = p.min_pair;
+    ps_triggered = Cpoint.triggered_subs p;
+    ps_weight = Cpoint.triggered_weight p;
+    ps_pair_intervals = Cpoint.pair_intervals p;
+  }
+
+let run ?(max_cycles = default_max_cycles) cfg inputs =
+  let n = Array.length inputs in
+  if n < 1 || n > 2 then invalid_arg "Machine.run: 1 or 2 cores";
+  let reg = Cpoint.create cfg in
+  let ms = Memsys.create cfg reg ~cores:n in
+  let cores =
+    Array.mapi
+      (fun i input ->
+        let outcome = Sonar_isa.Golden.run input.program in
+        Core_model.create cfg reg ms ~core_id:i ~outcome
+          ~secret_range:input.secret_range ~drives_window:(i = 0))
+      inputs
+  in
+  let cycle = ref 0 in
+  let all_done () = Array.for_all Core_model.finished cores && not (Memsys.busy ms) in
+  while (not (all_done ())) && !cycle < max_cycles do
+    Cpoint.set_cycle reg !cycle;
+    Array.iter (fun c -> Core_model.step c ~cycle:!cycle) cores;
+    Memsys.tick ms ~cycle:!cycle;
+    incr cycle
+  done;
+  {
+    cores =
+      Array.map
+        (fun c ->
+          {
+            commits = Core_model.commits c;
+            transient_executed = Core_model.transient_executed c;
+          })
+        cores;
+    cycles = !cycle;
+    snapshots = Cpoint.snapshots reg;
+    window = Cpoint.window_bounds reg;
+    point_stats = List.map point_stat (Cpoint.points reg);
+    hit_cycle_limit = !cycle >= max_cycles;
+  }
+
+let run_single ?max_cycles ?(secret_range = None) cfg program =
+  run ?max_cycles cfg [| { program; secret_range } |]

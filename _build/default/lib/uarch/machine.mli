@@ -1,0 +1,54 @@
+(** A whole machine: one or two cores over a shared L2 / interconnect.
+
+    [run] executes a program per core to completion (or the cycle budget)
+    and returns, per core, the commit trace plus the contention-state
+    snapshots the fuzzer consumes. In the dual-core scenario of the paper's
+    testcase template (Figure 4b), core 0 is the victim (it drives the
+    monitoring window) and core 1 the attacker. *)
+
+type core_input = {
+  program : Sonar_isa.Program.t;
+  secret_range : (int * int) option;
+      (** static instruction-index range of the secret-dependent region *)
+}
+
+type core_result = {
+  commits : Core_model.commit_record list;
+  transient_executed : int;
+}
+
+type result = {
+  cores : core_result array;
+  cycles : int;  (** total cycles simulated *)
+  snapshots : Cpoint.snapshot list;
+  window : (int * int) option;  (** monitoring-window bounds, cycles *)
+  point_stats : point_stat list;
+  hit_cycle_limit : bool;
+}
+
+and point_stat = {
+  ps_name : string;
+  ps_component : Sonar_ir.Component.t;
+  ps_fanout : int;
+  ps_max_subs : int;
+  ps_single_valid : bool;
+  ps_min_pair : int option;
+  ps_triggered : (Cpoint.kind * int) list;
+  ps_weight : float;  (** netlist contention points contributed *)
+  ps_pair_intervals : (int * int) list;
+      (** per source pair, the minimum in-window interval *)
+  ps_n_sources : int;
+}
+
+val default_max_cycles : int
+
+val run :
+  ?max_cycles:int -> Config.t -> core_input array -> result
+(** @raise Invalid_argument on 0 or more than 2 cores. *)
+
+val run_single :
+  ?max_cycles:int ->
+  ?secret_range:(int * int) option ->
+  Config.t ->
+  Sonar_isa.Program.t ->
+  result

@@ -1,0 +1,67 @@
+(** The shared memory hierarchy: per-core L1 I/D caches, MSHRs, line
+    buffers, a shared L2, and the TileLink-style D-channel that carries
+    refill data (8 beats per cache-line read) and writebacks (1 beat).
+
+    This is where contention channels S1–S7 and S10–S14 live:
+
+    - D-channel occupancy: a granted read holds the channel 8 cycles,
+      blocking other ready responses (S1–S4). Grant priority is
+      ICache read > DCache read > writeback, which makes a younger fetch
+      block an older data response.
+    - MSHR allocation: a miss whose set index matches an in-flight MSHR but
+      whose tag differs is refused until that MSHR retires — the paper's
+      "false sharing path blocking" (S5).
+    - Read line buffer: when several loads wait on one refill, the youngest
+      is served first and others slip a cycle (S6). Dirty-victim
+      writebacks contend for the single write line buffer (S7).
+    - DCache persistent effects: hit-on-younger-fill (S11), miss-on-
+      recently-evicted (S12), dirty-marking by store-conditionals (S10).
+    - ICache port: a refill write blocks the fetch read that cycle (S14,
+      modelled on every configuration but exposed on NutShell's
+      single-ported ICache). *)
+
+type t
+
+type access_result =
+  | Ready of int  (** data/fill available at this cycle *)
+  | Waiting  (** refill in flight; poll the matching [*_ready] function *)
+  | Blocked of string  (** resource refusal (MSHR conflict/full, port); retry *)
+
+val create : Config.t -> Cpoint.registry -> cores:int -> t
+
+val ifetch :
+  t -> core:int -> addr:int64 -> cycle:int -> tainted:bool -> access_result
+(** [tainted] marks accesses on behalf of secret-dependent instructions;
+    the flag rides every derived request (refill, channel transfer, fill,
+    victim writeback) so the contention registry can tell risky contention
+    apart (§6.1). *)
+
+val ifetch_ready : t -> core:int -> addr:int64 -> int option
+(** Cycle the fetch line became available, once its refill completed. *)
+
+val dload :
+  t ->
+  core:int -> seq:int -> rob:int -> addr:int64 -> cycle:int -> tainted:bool ->
+  access_result
+
+val load_ready : t -> core:int -> rob:int -> int option
+
+val dstore :
+  t ->
+  core:int -> seq:int -> rob:int -> addr:int64 -> is_sc:bool -> cycle:int ->
+  tainted:bool ->
+  access_result
+(** Store-buffer drain into the DCache. Store-conditionals mark the line
+    dirty regardless of their architectural success (S10). *)
+
+val store_ready : t -> core:int -> rob:int -> int option
+
+val tick : t -> cycle:int -> unit
+(** Advance channel arbitration, transfers, refill completions. Call once
+    per machine cycle after the cores have issued their accesses. *)
+
+val dcache_probe : t -> core:int -> addr:int64 -> bool
+(** Hit test without side effects (used by tests and examples). *)
+
+val busy : t -> bool
+(** Any transfer still in flight (used for drain loops at end of run). *)

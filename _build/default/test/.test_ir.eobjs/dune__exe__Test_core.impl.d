@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Attack Baseline Ccd Channels Corpus Coverage Detector Executor Float Fuzzer Int64 Layout List Mutation Option Printf Rng Sonar Sonar_isa Sonar_uarch Testcase

@@ -1,0 +1,1 @@
+test/test_isa.ml: Alcotest Array Asm Encoding Golden Instr Int64 List Memory Printf Program QCheck2 QCheck_alcotest Reg Sonar_isa

@@ -1,0 +1,1 @@
+test/test_rtlsim.ml: Alcotest Bitvec Engine Int64 Levelize List Monitor QCheck2 QCheck_alcotest Sonar_dut Sonar_ir Sonar_rtlsim String Vcd

@@ -1,0 +1,1 @@
+test/test_uarch.ml: Alcotest Array Asm Cache Config Core_model Cpoint Exec_unit Golden Instr Int64 List Machine Option Printf Program QCheck2 QCheck_alcotest Reg Sonar Sonar_ir Sonar_isa Sonar_uarch

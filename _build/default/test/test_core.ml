@@ -1,0 +1,430 @@
+(* Tests for the Sonar fuzzer: RNG, testcases, corpus, mutation, CCD,
+   detector, coverage, fuzzing loop, the 14 channel scenarios and the
+   Meltdown-style exploitability analysis. *)
+
+open Sonar
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+let checkf = Alcotest.(check (float 0.0001))
+
+(* --- Rng --- *)
+
+let test_rng_determinism () =
+  let a = Rng.create 1L and b = Rng.create 1L in
+  for _ = 1 to 50 do
+    Alcotest.(check int64) "same stream" (Rng.int64 a) (Rng.int64 b)
+  done
+
+let test_rng_bounds () =
+  let rng = Rng.create 2L in
+  for _ = 1 to 200 do
+    let v = Rng.int rng 7 in
+    checkb "in bounds" true (v >= 0 && v < 7)
+  done;
+  checkb "zero bound rejected" true
+    (match Rng.int rng 0 with exception Invalid_argument _ -> true | _ -> false)
+
+let test_rng_split_independent () =
+  let a = Rng.create 3L in
+  let b = Rng.split a in
+  checkb "split differs" true (Rng.int64 a <> Rng.int64 b)
+
+let test_rng_shuffle_permutes () =
+  let rng = Rng.create 4L in
+  let l = [ 1; 2; 3; 4; 5; 6 ] in
+  let s = Rng.shuffle rng l in
+  Alcotest.(check (list int)) "same multiset" l (List.sort compare s)
+
+(* --- Testcase --- *)
+
+let test_testcase_materialize () =
+  let rng = Rng.create 5L in
+  let tc = Testcase.random rng ~id:1 ~dual:false in
+  let inputs = Testcase.materialize tc ~secret:1 in
+  checki "single core" 1 (Array.length inputs);
+  let input = inputs.(0) in
+  checkb "secret range present" true (input.Sonar_uarch.Machine.secret_range <> None);
+  let lo, hi = Option.get input.secret_range in
+  checkb "range well-formed" true (0 < lo && lo <= hi);
+  checkb "range inside program" true
+    (hi < Sonar_isa.Program.length input.program);
+  (* The secret value lands in the data section. *)
+  checkb "secret datum" true
+    (List.exists
+       (fun (a, v) -> Int64.equal a Layout.secret_addr && Int64.equal v 1L)
+       input.program.Sonar_isa.Program.data)
+
+let test_testcase_dual () =
+  let rng = Rng.create 6L in
+  let tc = Testcase.random rng ~id:1 ~dual:true in
+  let inputs = Testcase.materialize tc ~secret:0 in
+  checki "two cores" 2 (Array.length inputs);
+  checkb "attacker has no secret range" true
+    (inputs.(1).Sonar_uarch.Machine.secret_range = None)
+
+let test_testcase_runs_cleanly () =
+  (* Materialised testcases must execute to completion on both DUTs. *)
+  let rng = Rng.create 7L in
+  for i = 1 to 10 do
+    let tc = Testcase.random rng ~id:i ~dual:false in
+    List.iter
+      (fun cfg ->
+        let m =
+          Sonar_uarch.Machine.run cfg (Testcase.materialize tc ~secret:(i land 1))
+        in
+        checkb "no cycle-limit hit" false m.Sonar_uarch.Machine.hit_cycle_limit)
+      [ Sonar_uarch.Config.boom; Sonar_uarch.Config.nutshell ]
+  done
+
+let test_neutral_flavor_no_diff () =
+  (* A Neutral testcase whose random regions do not consume secret-derived
+     values behaves identically under both secrets. (Regions that feed the
+     secret into an operand-dependent divide CAN leak — that is a genuine
+     channel, not a test failure, so this test pins the regions.) *)
+  let fixed_region =
+    [
+      Sonar_isa.Instr.Itype (Sonar_isa.Instr.ADDI, Sonar_isa.Reg.of_int 29,
+                             Sonar_isa.Reg.of_int 29, 1);
+      Sonar_isa.Instr.Load (Sonar_isa.Instr.LD, Sonar_isa.Reg.of_int 30,
+                            Sonar_isa.Reg.of_int 11, 64);
+      Sonar_isa.Instr.Store (Sonar_isa.Instr.SD, Sonar_isa.Reg.of_int 29,
+                             Sonar_isa.Reg.of_int 11, 128);
+    ]
+  in
+  let tc =
+    {
+      (Testcase.random (Rng.create 8L) ~id:1 ~dual:false) with
+      flavor = Testcase.Neutral;
+      prefix = fixed_region;
+      suffix = fixed_region;
+    }
+  in
+  let pair = Executor.execute Sonar_uarch.Config.boom tc in
+  let report = Detector.detect pair in
+  checki "no CCD findings" 0 (List.length report.Detector.findings);
+  checki "no run-length delta" 0 report.total_delta
+
+let test_latency_flavor_differs () =
+  (* The divide's latency depends on the secret-derived operand. *)
+  let rng = Rng.create 9L in
+  let tc =
+    {
+      (Testcase.random rng ~id:1 ~dual:false) with
+      flavor = Testcase.Latency { use_div = true };
+    }
+  in
+  let pair = Executor.execute Sonar_uarch.Config.boom tc in
+  let report = Detector.detect pair in
+  checkb "latency flavor leaks timing" true
+    (report.Detector.findings <> [] || report.total_delta <> 0)
+
+(* --- Corpus --- *)
+
+let dummy_tc = Testcase.random (Rng.create 10L) ~id:0 ~dual:false
+
+let test_corpus_retention () =
+  let c = Corpus.create () in
+  checkb "first improves" true (Corpus.consider c dummy_tc ~intervals:[ ("p/0", 5) ]);
+  checkb "worse rejected" false (Corpus.consider c dummy_tc ~intervals:[ ("p/0", 9) ]);
+  checkb "equal rejected" false (Corpus.consider c dummy_tc ~intervals:[ ("p/0", 5) ]);
+  checkb "better accepted" true (Corpus.consider c dummy_tc ~intervals:[ ("p/0", 2) ]);
+  checkb "new point accepted" true (Corpus.consider c dummy_tc ~intervals:[ ("q/1", 50) ]);
+  checki "entries" 3 (Corpus.size c);
+  Alcotest.(check (option int)) "best tracked" (Some 2) (Corpus.best_interval c "p/0")
+
+let test_corpus_selection_prefers_small () =
+  let c = Corpus.create () in
+  ignore (Corpus.consider c dummy_tc ~intervals:[ ("big/0", 500); ("small/0", 1) ]);
+  let rng = Rng.create 11L in
+  let picks = ref 0 in
+  for _ = 1 to 50 do
+    match Corpus.select c rng with
+    | Some (_, "small/0") -> incr picks
+    | _ -> ()
+  done;
+  checkb "small interval targeted mostly" true (!picks > 35)
+
+let test_corpus_zero_not_selected () =
+  let c = Corpus.create () in
+  ignore (Corpus.consider c dummy_tc ~intervals:[ ("done/0", 0) ]);
+  checkb "nothing to chase" true (Corpus.select c (Rng.create 1L) = None)
+
+(* --- Mutation --- *)
+
+let chain_lengths (tc : Testcase.t) =
+  List.map (fun (c : Testcase.chain) -> c.length) tc.chains
+
+let test_mutation_directed_grow_shrink () =
+  let rng = Rng.create 12L in
+  let st = Mutation.create_state () in
+  st.Mutation.dir <- Mutation.Grow;
+  let tc' = Mutation.directed rng st dummy_tc in
+  checkb "grow increases a chain" true
+    (List.fold_left ( + ) 0 (chain_lengths tc')
+    > List.fold_left ( + ) 0 (chain_lengths dummy_tc));
+  st.Mutation.dir <- Mutation.Shrink;
+  let tc'' = Mutation.directed rng st tc' in
+  checkb "shrink decreases" true
+    (List.fold_left ( + ) 0 (chain_lengths tc'')
+    < List.fold_left ( + ) 0 (chain_lengths tc'))
+
+let test_mutation_feedback_flips () =
+  let st = Mutation.create_state () in
+  let d0 = st.Mutation.dir in
+  Mutation.feedback st ~improved:true;
+  checkb "kept on improvement" true (st.Mutation.dir = d0);
+  Mutation.feedback st ~improved:false;
+  checkb "flipped on failure" true (st.Mutation.dir <> d0)
+
+let test_mutation_preserves_flavor () =
+  let rng = Rng.create 13L in
+  let st = Mutation.create_state () in
+  let tc = { dummy_tc with flavor = Testcase.Latency { use_div = true } } in
+  let tc' = Mutation.mutate rng st ~directed_enabled:true tc in
+  checkb "flavor preserved" true (tc'.Testcase.flavor = tc.Testcase.flavor)
+
+let test_mutation_similarity_in_buffer () =
+  let rng = Rng.create 14L in
+  for _ = 1 to 20 do
+    let tc = Mutation.enhance_similarity rng dummy_tc in
+    List.iter
+      (fun i ->
+        match i with
+        | Sonar_isa.Instr.Load (_, _, _, off) | Sonar_isa.Instr.Store (_, _, _, off)
+          ->
+            checkb "offset within base window" true (off >= 0 && off <= 4088)
+        | _ -> ())
+      (tc.Testcase.prefix @ tc.Testcase.suffix)
+  done
+
+(* --- CCD --- *)
+
+let commit idx cycle : Sonar_uarch.Core_model.commit_record =
+  {
+    c_eff =
+      {
+        Sonar_isa.Golden.seq = idx;
+        index = idx;
+        pc = Int64.of_int (4 * idx);
+        instr = Sonar_isa.Asm.nop;
+        wb = None;
+        mem = None;
+        taken = None;
+        fault = None;
+        transient = false;
+      };
+    c_cycle = cycle;
+    c_dispatch = cycle - 2;
+  }
+
+let test_ccd_inorder_propagation_filtered () =
+  (* Paper Figure 5: a div is delayed by 1 cycle; the following mul commits
+     later only because of in-order commit. Only the div's CCD changes. *)
+  let run0 = [ commit 0 10; commit 1 20; commit 2 21 ] in
+  let run1 = [ commit 0 10; commit 1 21; commit 2 22 ] in
+  let rows, diverged = Ccd.align run0 run1 in
+  checkb "aligned" false diverged;
+  let affected = Ccd.ccd_affected rows in
+  checki "only the div is genuinely affected" 1 (List.length affected);
+  checki "it is instruction 1" 1 (List.hd affected).Ccd.static_index;
+  checki "raw timing diffs include propagation" 2 (Ccd.timing_diff_count rows)
+
+let test_ccd_divergent_traces () =
+  let run0 = [ commit 0 1; commit 1 2; commit 5 9 ] in
+  let run1 = [ commit 0 1; commit 2 3; commit 3 4; commit 5 9 ] in
+  let rows, diverged = Ccd.align run0 run1 in
+  checkb "diverged" true diverged;
+  (* head = instr 0; tail = instr 5 *)
+  checki "aligned rows" 2 (List.length rows)
+
+(* --- Coverage --- *)
+
+let test_coverage_accumulates_once () =
+  let rng = Rng.create 15L in
+  let tc = Testcase.random rng ~id:1 ~dual:false in
+  let pair = Executor.execute Sonar_uarch.Config.boom tc in
+  let cov = Coverage.create () in
+  let first = Coverage.add_pair cov pair in
+  checkb "first run adds coverage" true (first > 0.);
+  let again = Coverage.add_pair cov pair in
+  checkf "identical run adds nothing" 0. again;
+  checkf "total stable" first (Coverage.total cov)
+
+let test_coverage_components () =
+  let rng = Rng.create 16L in
+  let cov = Coverage.create () in
+  for i = 1 to 5 do
+    ignore
+      (Coverage.add_pair cov
+         (Executor.execute Sonar_uarch.Config.boom (Testcase.random rng ~id:i ~dual:false)))
+  done;
+  let per = Coverage.per_component cov in
+  let sum = List.fold_left (fun a (_, w) -> a +. w) 0. per in
+  checkb "component split sums to total" true
+    (Float.abs (sum -. Coverage.total cov) < 1e-6)
+
+(* --- Fuzzer --- *)
+
+let test_fuzzer_deterministic () =
+  let run () =
+    Fuzzer.run ~seed:17L Sonar_uarch.Config.nutshell Fuzzer.full_strategy
+      ~iterations:15
+  in
+  let a = run () and b = run () in
+  checkf "same coverage" a.Fuzzer.final_coverage b.Fuzzer.final_coverage;
+  checki "same diffs" a.final_timing_diffs b.final_timing_diffs
+
+let test_fuzzer_series_monotonic () =
+  let o =
+    Fuzzer.run ~seed:18L Sonar_uarch.Config.boom Fuzzer.full_strategy ~iterations:25
+  in
+  checki "one point per iteration" 25 (List.length o.Fuzzer.series);
+  let rec mono = function
+    | (a : Fuzzer.series_point) :: (b : Fuzzer.series_point) :: rest ->
+        a.coverage <= b.coverage && a.timing_diffs <= b.timing_diffs && mono (b :: rest)
+    | _ -> true
+  in
+  checkb "cumulative series" true (mono o.series)
+
+let test_fuzzer_finds_diffs () =
+  let o =
+    Fuzzer.run ~seed:19L Sonar_uarch.Config.boom Fuzzer.full_strategy ~iterations:40
+  in
+  checkb "finds timing differences" true (o.Fuzzer.final_timing_diffs > 0);
+  checkb "keeps reports" true (o.reports <> [])
+
+let test_baseline_specdoctor_runs () =
+  let series =
+    Baseline.specdoctor ~seed:20L Sonar_uarch.Config.boom ~iterations:10
+  in
+  checki "series length" 10 (List.length series);
+  checkb "covers something" true
+    ((List.nth series 9).Fuzzer.coverage > 0.)
+
+(* --- Channels (Table 3) --- *)
+
+let channel_case (c : Channels.t) =
+  Alcotest.test_case (c.id ^ " " ^ c.resource) `Slow (fun () ->
+      let m = Channels.measure c in
+      checkb
+        (Printf.sprintf "%s timing difference in band (got %d, paper %d-%d)"
+           c.id m.Channels.time_difference (fst c.paper_band) (snd c.paper_band))
+        true m.in_band;
+      checkb (c.id ^ " contention point implicated") true m.points_implicated)
+
+let test_channels_catalogue () =
+  checki "fourteen channels" 14 (List.length Channels.all);
+  checki "twelve on boom" 12 (List.length (Channels.for_dut "boom"));
+  checki "two on nutshell" 2 (List.length (Channels.for_dut "nutshell"));
+  checki "eleven new" 11
+    (List.length (List.filter (fun c -> c.Channels.is_new) Channels.all));
+  checkb "find works" true (Channels.find "S5" <> None);
+  checkb "unknown id" true (Channels.find "S99" = None)
+
+(* --- Attack (§8.5) --- *)
+
+let test_attack_gadget_mapping () =
+  checkb "S1 has a PoC" true (Attack.gadget_for "S1" <> None);
+  checkb "S8 was known: no PoC" true (Attack.gadget_for "S8" = None);
+  checkb "S9 was known: no PoC" true (Attack.gadget_for "S9" = None);
+  checkb "S10 was known: no PoC" true (Attack.gadget_for "S10" = None)
+
+let test_attack_boom_high_accuracy () =
+  let r =
+    Attack.run_poc ~trials:4 ~key_bits:24 Sonar_uarch.Config.boom
+      ~channel_id:"S1" Attack.Channel_occupancy
+  in
+  checkb "boom channel PoC accurate" true (r.Attack.bit_accuracy > 0.9);
+  checkb "transient window opened" true (r.avg_transient_window > 1.)
+
+let test_attack_cache_probe_accuracy () =
+  let r =
+    Attack.run_poc ~trials:4 ~key_bits:24 Sonar_uarch.Config.boom
+      ~channel_id:"S11" Attack.Cache_probe
+  in
+  checkb "cache-probe PoC accurate" true (r.Attack.bit_accuracy > 0.9)
+
+let test_attack_timer_mitigation () =
+  (* §8.6: coarsening the clock below the channel margin kills the PoC. *)
+  let fine =
+    Attack.run_poc ~trials:2 ~key_bits:16 ~timer_granularity:1
+      Sonar_uarch.Config.boom ~channel_id:"S11" Attack.Cache_probe
+  in
+  let coarse =
+    Attack.run_poc ~trials:2 ~key_bits:16 ~timer_granularity:512
+      Sonar_uarch.Config.boom ~channel_id:"S11" Attack.Cache_probe
+  in
+  checkb "fine-grained clock leaks" true (fine.Attack.bit_accuracy > 0.9);
+  checkb "coarse clock mitigates" true (coarse.Attack.bit_accuracy < 0.8)
+
+let test_attack_nutshell_fails () =
+  let r =
+    Attack.run_poc ~trials:3 ~key_bits:16 Sonar_uarch.Config.nutshell
+      ~channel_id:"S13" Attack.Port_pressure
+  in
+  checkb "nutshell PoC near chance" true (r.Attack.bit_accuracy < 0.75);
+  checkf "no transient window" 0. r.avg_transient_window;
+  checkb "key never recovered" true (r.key_success_rate < 0.02)
+
+let () =
+  Alcotest.run "sonar_core"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "determinism" `Quick test_rng_determinism;
+          Alcotest.test_case "bounds" `Quick test_rng_bounds;
+          Alcotest.test_case "split" `Quick test_rng_split_independent;
+          Alcotest.test_case "shuffle" `Quick test_rng_shuffle_permutes;
+        ] );
+      ( "testcase",
+        [
+          Alcotest.test_case "materialize" `Quick test_testcase_materialize;
+          Alcotest.test_case "dual core" `Quick test_testcase_dual;
+          Alcotest.test_case "runs cleanly" `Quick test_testcase_runs_cleanly;
+          Alcotest.test_case "neutral flavor" `Quick test_neutral_flavor_no_diff;
+          Alcotest.test_case "latency flavor leaks" `Quick test_latency_flavor_differs;
+        ] );
+      ( "corpus",
+        [
+          Alcotest.test_case "retention" `Quick test_corpus_retention;
+          Alcotest.test_case "selection bias" `Quick test_corpus_selection_prefers_small;
+          Alcotest.test_case "zero ignored" `Quick test_corpus_zero_not_selected;
+        ] );
+      ( "mutation",
+        [
+          Alcotest.test_case "directed grow/shrink" `Quick test_mutation_directed_grow_shrink;
+          Alcotest.test_case "feedback flips" `Quick test_mutation_feedback_flips;
+          Alcotest.test_case "flavor preserved" `Quick test_mutation_preserves_flavor;
+          Alcotest.test_case "similarity bounds" `Quick test_mutation_similarity_in_buffer;
+        ] );
+      ( "ccd",
+        [
+          Alcotest.test_case "in-order propagation filtered" `Quick
+            test_ccd_inorder_propagation_filtered;
+          Alcotest.test_case "divergent traces" `Quick test_ccd_divergent_traces;
+        ] );
+      ( "coverage",
+        [
+          Alcotest.test_case "deduplication" `Quick test_coverage_accumulates_once;
+          Alcotest.test_case "per-component split" `Quick test_coverage_components;
+        ] );
+      ( "fuzzer",
+        [
+          Alcotest.test_case "deterministic" `Quick test_fuzzer_deterministic;
+          Alcotest.test_case "series monotonic" `Quick test_fuzzer_series_monotonic;
+          Alcotest.test_case "finds differences" `Quick test_fuzzer_finds_diffs;
+          Alcotest.test_case "specdoctor baseline" `Quick test_baseline_specdoctor_runs;
+        ] );
+      ( "channels",
+        Alcotest.test_case "catalogue" `Quick test_channels_catalogue
+        :: List.map channel_case Channels.all );
+      ( "attack",
+        [
+          Alcotest.test_case "gadget mapping" `Quick test_attack_gadget_mapping;
+          Alcotest.test_case "boom channel PoC" `Slow test_attack_boom_high_accuracy;
+          Alcotest.test_case "cache probe PoC" `Slow test_attack_cache_probe_accuracy;
+          Alcotest.test_case "nutshell PoC fails" `Slow test_attack_nutshell_fails;
+          Alcotest.test_case "timer mitigation" `Slow test_attack_timer_mitigation;
+        ] );
+    ]

@@ -1,0 +1,275 @@
+(* Tests for the bit-vector, levelization, simulation engine, runtime
+   monitor and VCD writer. *)
+
+open Sonar_rtlsim
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+let check64 = Alcotest.(check int64)
+
+(* --- Bitvec --- *)
+
+let bv w v = Bitvec.make ~width:w (Int64.of_int v)
+
+let test_bitvec_masking () =
+  check64 "mask to width" 3L (Bitvec.value (bv 2 7));
+  check64 "full value" 255L (Bitvec.value (bv 8 255));
+  checkb "width error low" true
+    (match Bitvec.make ~width:0 1L with
+    | exception Bitvec.Width_error _ -> true
+    | _ -> false);
+  checkb "width error high" true
+    (match Bitvec.make ~width:64 1L with
+    | exception Bitvec.Width_error _ -> true
+    | _ -> false)
+
+let test_bitvec_arith () =
+  check64 "add wraps" 0L (Bitvec.value (Bitvec.add (bv 4 15) (bv 4 1)));
+  check64 "sub wraps" 15L (Bitvec.value (Bitvec.sub (bv 4 0) (bv 4 1)));
+  check64 "and" 4L (Bitvec.value (Bitvec.logand (bv 4 6) (bv 4 12)));
+  check64 "or" 14L (Bitvec.value (Bitvec.logor (bv 4 6) (bv 4 12)));
+  check64 "xor" 10L (Bitvec.value (Bitvec.logxor (bv 4 6) (bv 4 12)));
+  check64 "not" 9L (Bitvec.value (Bitvec.lognot (bv 4 6)))
+
+let test_bitvec_compare () =
+  checkb "lt unsigned" true (Bitvec.is_true (Bitvec.lt (bv 8 3) (bv 8 200)));
+  checkb "geq" true (Bitvec.is_true (Bitvec.geq (bv 8 200) (bv 8 200)));
+  checkb "eq" true (Bitvec.is_true (Bitvec.eq (bv 8 42) (bv 8 42)));
+  checkb "neq" false (Bitvec.is_true (Bitvec.neq (bv 8 42) (bv 8 42)))
+
+let test_bitvec_shift_slice () =
+  check64 "shl widens" 12L (Bitvec.value (Bitvec.shl 2 (bv 4 3)));
+  checki "shl width" 6 (Bitvec.width (Bitvec.shl 2 (bv 4 3)));
+  check64 "shr" 3L (Bitvec.value (Bitvec.shr 2 (bv 8 12)));
+  check64 "bits" 5L (Bitvec.value (Bitvec.bits ~hi:4 ~lo:2 (bv 8 0b10100)));
+  check64 "cat" 0xABL (Bitvec.value (Bitvec.cat (bv 4 0xA) (bv 4 0xB)));
+  check64 "pad" 5L (Bitvec.value (Bitvec.pad 16 (bv 4 5)))
+
+let prop_bitvec_add_commutes =
+  QCheck2.Test.make ~name:"bitvec add commutes" ~count:300
+    QCheck2.Gen.(pair (int_bound 0xFFFF) (int_bound 0xFFFF))
+    (fun (a, b) ->
+      Bitvec.equal (Bitvec.add (bv 16 a) (bv 16 b)) (Bitvec.add (bv 16 b) (bv 16 a)))
+
+let prop_bitvec_mask_idempotent =
+  QCheck2.Test.make ~name:"masking is idempotent" ~count:300
+    QCheck2.Gen.(pair (int_range 1 63) (map Int64.of_int int))
+    (fun (w, v) ->
+      let x = Bitvec.make ~width:w v in
+      Bitvec.equal x (Bitvec.make ~width:w (Bitvec.value x)))
+
+(* --- Levelize / Engine --- *)
+
+let counter_module =
+  Sonar_ir.Parser.parse_module
+    {|
+module Counter [other] :
+  input en : UInt<1>
+  output out : UInt<8>
+  reg count : UInt<8> reset 0
+  node next = mux(en, add(count, UInt<8>(1)), count)
+  connect count = next
+  connect out = count
+|}
+
+let test_engine_counter () =
+  let e = Engine.compile counter_module in
+  Engine.poke_int e "en" 1;
+  for _ = 1 to 5 do
+    Engine.step e
+  done;
+  checki "counts to 5" 5 (Engine.peek_int e "out");
+  Engine.poke_int e "en" 0;
+  Engine.step e;
+  checki "holds" 5 (Engine.peek_int e "out");
+  checki "cycles" 6 (Engine.cycle e)
+
+let test_engine_reset () =
+  let e = Engine.compile counter_module in
+  Engine.poke_int e "en" 1;
+  Engine.step e;
+  Engine.step e;
+  Engine.reset e;
+  checki "reset to 0" 0 (Engine.peek_int e "out");
+  checki "cycle rewound" 0 (Engine.cycle e)
+
+let test_engine_comb () =
+  let m =
+    Sonar_ir.Parser.parse_module
+      {|
+module Comb [other] :
+  input a : UInt<8>
+  input b : UInt<8>
+  input s : UInt<1>
+  output o : UInt<8>
+  node picked = mux(s, a, b)
+  connect o = picked
+|}
+  in
+  let e = Engine.compile m in
+  Engine.poke_int e "a" 11;
+  Engine.poke_int e "b" 22;
+  Engine.poke_int e "s" 1;
+  Engine.settle e;
+  checki "mux true" 11 (Engine.peek_int e "o");
+  Engine.poke_int e "s" 0;
+  Engine.settle e;
+  checki "mux false" 22 (Engine.peek_int e "o")
+
+let test_engine_unknown_signal () =
+  let e = Engine.compile counter_module in
+  checkb "unknown raises" true
+    (match Engine.peek e "nonexistent" with
+    | exception Engine.Unknown_signal _ -> true
+    | _ -> false);
+  checkb "poke non-input raises" true
+    (match Engine.poke_int e "out" 1 with
+    | exception Engine.Unknown_signal _ -> true
+    | _ -> false)
+
+let test_levelize_order () =
+  let order = Levelize.order counter_module in
+  checkb "both comb signals scheduled" true
+    (List.mem "next" order && List.mem "out" order)
+
+let test_levelize_cycle () =
+  let m =
+    Sonar_ir.Parser.parse_module
+      {|
+module Loop [other] :
+  wire x : UInt<8>
+  wire y : UInt<8>
+  connect x = add(y, UInt<8>(1))
+  connect y = add(x, UInt<8>(1))
+|}
+  in
+  checkb "combinational cycle detected" true
+    (match Levelize.order m with
+    | exception Levelize.Combinational_cycle _ -> true
+    | _ -> false)
+
+(* Differential property: the engine's evaluation of a fixed expression
+   over random inputs matches a direct OCaml interpretation. *)
+let prop_engine_matches_interpreter =
+  let m =
+    Sonar_ir.Parser.parse_module
+      {|
+module X [other] :
+  input a : UInt<8>
+  input b : UInt<8>
+  input s : UInt<1>
+  output o : UInt<8>
+  node t = mux(s, add(a, b), xor(a, b))
+  connect o = t
+|}
+  in
+  QCheck2.Test.make ~name:"engine matches reference semantics" ~count:200
+    QCheck2.Gen.(triple (int_bound 255) (int_bound 255) (int_bound 1))
+    (fun (a, b, s) ->
+      let e = Engine.compile m in
+      Engine.poke_int e "a" a;
+      Engine.poke_int e "b" b;
+      Engine.poke_int e "s" s;
+      Engine.settle e;
+      let expect = if s = 1 then (a + b) land 255 else a lxor b in
+      Engine.peek_int e "o" = expect)
+
+(* --- Monitor --- *)
+
+let monitored_engine () =
+  let m = Sonar_dut.Netlist_gen.example_module () in
+  let r = Sonar_ir.Instrument.instrument (Sonar_ir.Circuit.make "c" [ m ]) in
+  let m' = List.hd r.Sonar_ir.Instrument.circuit.Sonar_ir.Circuit.modules in
+  let e = Engine.compile m' in
+  (e, Monitor.create e r.monitors)
+
+let test_monitor_simultaneous () =
+  let e, mon = monitored_engine () in
+  Engine.poke_int e "io_ldq_idx_valid" 1;
+  Engine.poke_int e "io_stq_idx_valid" 1;
+  Engine.settle e;
+  Monitor.sample mon;
+  let st = List.hd (Monitor.states mon) in
+  checkb "triggered" true st.Monitor.triggered;
+  Alcotest.(check (option int)) "interval 0" (Some 0) st.min_pair_interval
+
+let test_monitor_interval () =
+  let e, mon = monitored_engine () in
+  Engine.poke_int e "io_ldq_idx_valid" 1;
+  Engine.settle e;
+  Monitor.sample mon;
+  Engine.poke_int e "io_ldq_idx_valid" 0;
+  Engine.step e;
+  Engine.step e;
+  Monitor.sample mon;
+  Engine.poke_int e "io_stq_idx_valid" 1;
+  Engine.settle e;
+  Monitor.sample mon;
+  let st = List.hd (Monitor.states mon) in
+  checkb "not simultaneous" false st.Monitor.triggered;
+  Alcotest.(check (option int)) "interval 2" (Some 2) st.min_pair_interval
+
+let test_monitor_window () =
+  let e, mon = monitored_engine () in
+  Monitor.set_window mon ~start:100 ~stop:200;
+  Engine.poke_int e "io_ldq_idx_valid" 1;
+  Engine.poke_int e "io_stq_idx_valid" 1;
+  Engine.settle e;
+  Monitor.sample mon;
+  let st = List.hd (Monitor.states mon) in
+  checkb "outside window ignored" false st.Monitor.triggered;
+  checki "no hits recorded" 0 st.request_hits
+
+(* --- VCD --- *)
+
+let contains needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let test_vcd_output () =
+  let e = Engine.compile counter_module in
+  let vcd = Vcd.create e in
+  Engine.poke_int e "en" 1;
+  Vcd.dump vcd;
+  Engine.step e;
+  Vcd.dump vcd;
+  let text = Vcd.contents vcd in
+  checkb "has header" true (String.sub text 0 10 = "$timescale");
+  checkb "declares count" true (contains "count" text);
+  checkb "has timesteps" true (contains "#1" text)
+
+let qcheck = List.map QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "sonar_rtlsim"
+    [
+      ( "bitvec",
+        [
+          Alcotest.test_case "masking" `Quick test_bitvec_masking;
+          Alcotest.test_case "arithmetic" `Quick test_bitvec_arith;
+          Alcotest.test_case "comparisons" `Quick test_bitvec_compare;
+          Alcotest.test_case "shift/slice/cat" `Quick test_bitvec_shift_slice;
+        ]
+        @ qcheck [ prop_bitvec_add_commutes; prop_bitvec_mask_idempotent ] );
+      ( "engine",
+        [
+          Alcotest.test_case "counter" `Quick test_engine_counter;
+          Alcotest.test_case "reset" `Quick test_engine_reset;
+          Alcotest.test_case "combinational" `Quick test_engine_comb;
+          Alcotest.test_case "unknown signals" `Quick test_engine_unknown_signal;
+        ]
+        @ qcheck [ prop_engine_matches_interpreter ] );
+      ( "levelize",
+        [
+          Alcotest.test_case "ordering" `Quick test_levelize_order;
+          Alcotest.test_case "cycle detection" `Quick test_levelize_cycle;
+        ] );
+      ( "monitor",
+        [
+          Alcotest.test_case "simultaneous trigger" `Quick test_monitor_simultaneous;
+          Alcotest.test_case "interval measurement" `Quick test_monitor_interval;
+          Alcotest.test_case "window gating" `Quick test_monitor_window;
+        ] );
+      ("vcd", [ Alcotest.test_case "waveform output" `Quick test_vcd_output ]);
+    ]

@@ -1,0 +1,355 @@
+(* Tests for the micro-architectural timing models: configurations, the
+   contention-point registry, caches, execution units, and the machine. *)
+
+open Sonar_isa
+open Sonar_uarch
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+let r = Reg.of_int
+
+(* --- Config --- *)
+
+let test_config_lookup () =
+  checkb "boom" true (Config.by_name "boom" = Some Config.boom);
+  checkb "nutshell" true (Config.by_name "nutshell" = Some Config.nutshell);
+  checkb "unknown" true (Config.by_name "zen5" = None)
+
+let test_config_table1 () =
+  checki "boom rob" 96 Config.boom.rob_entries;
+  checki "boom fetch width" 8 Config.boom.fetch_width;
+  checki "boom mshrs" 2 Config.boom.mshrs;
+  checki "nutshell rob" 32 Config.nutshell.rob_entries;
+  checkb "nutshell mdu" true Config.nutshell.unified_mdu;
+  checkb "exception policies differ" true
+    (Config.boom.exception_policy = Config.Lazy_at_commit
+    && Config.nutshell.exception_policy = Config.Early_at_execute)
+
+let test_config_fanout_prefix () =
+  checki "bare name" 420 (Config.fanout_of Config.boom "tilelink.d_channel");
+  checki "core prefix stripped" 540 (Config.fanout_of Config.boom "c0.lsu.ldq_stq_idx");
+  checki "unknown defaults to 1" 1 (Config.fanout_of Config.boom "made.up")
+
+(* --- Cpoint --- *)
+
+let registry () = Cpoint.create Config.boom
+
+let test_cpoint_intervals_and_triggers () =
+  let reg = registry () in
+  let p = Cpoint.point reg ~name:"t.arb" ~component:Sonar_ir.Component.Exec
+      ~sources:[ "a"; "b" ] () in
+  Cpoint.open_window reg;
+  Cpoint.set_cycle reg 10;
+  Cpoint.request reg p ~tainted:true ~source:0 ~data:1L;
+  Cpoint.set_cycle reg 13;
+  Cpoint.request reg p ~tainted:true ~source:1 ~data:2L;
+  Alcotest.(check (option int)) "pair interval 3" (Some 3) p.Cpoint.min_pair;
+  checkb "not yet triggered" true (Cpoint.triggered_subs p = []);
+  Cpoint.request reg p ~tainted:true ~source:0 ~data:3L;
+  checkb "same-cycle pair triggers" true (Cpoint.triggered_subs p <> [])
+
+let test_cpoint_taint_gating () =
+  let reg = registry () in
+  let p = Cpoint.point reg ~name:"t.arb2" ~component:Sonar_ir.Component.Exec
+      ~sources:[ "a"; "b" ] () in
+  Cpoint.open_window reg;
+  Cpoint.set_cycle reg 5;
+  Cpoint.request reg p ~tainted:false ~source:0 ~data:1L;
+  Cpoint.request reg p ~tainted:false ~source:1 ~data:2L;
+  checkb "untainted pair does not trigger" true (Cpoint.triggered_subs p = []);
+  Alcotest.(check (option int)) "untainted pair not recorded" None p.Cpoint.min_pair;
+  Cpoint.request reg p ~tainted:true ~source:0 ~data:3L;
+  checkb "tainted member triggers" true (Cpoint.triggered_subs p <> [])
+
+let test_cpoint_window_gating () =
+  let reg = registry () in
+  let p = Cpoint.point reg ~name:"t.arb3" ~component:Sonar_ir.Component.Exec
+      ~sources:[ "a"; "b" ] () in
+  Cpoint.set_cycle reg 5;
+  (* window closed *)
+  Cpoint.request reg p ~tainted:true ~source:0 ~data:1L;
+  Cpoint.request reg p ~tainted:true ~source:1 ~data:2L;
+  checkb "closed window: no triggers" true (Cpoint.triggered_subs p = []);
+  checki "closed window: no hits" 0 (p.Cpoint.hits.(0) + p.Cpoint.hits.(1))
+
+let test_cpoint_single_source () =
+  let reg = registry () in
+  let p = Cpoint.point reg ~name:"t.lone" ~component:Sonar_ir.Component.Rob
+      ~sources:[ "only" ] () in
+  Cpoint.open_window reg;
+  Cpoint.set_cycle reg 2;
+  checkb "single-valid flagged" true p.Cpoint.single_valid;
+  Cpoint.request reg p ~tainted:true ~source:0 ~data:7L;
+  checkb "triggers on first risky request" true (Cpoint.triggered_subs p <> [])
+
+let test_cpoint_pair_name () =
+  let reg = registry () in
+  let p = Cpoint.point reg ~name:"t.n" ~component:Sonar_ir.Component.Bus
+      ~sources:[ "x"; "y"; "z" ] () in
+  Alcotest.(check string) "pair 0" "x-y" (Cpoint.pair_name p 0);
+  Alcotest.(check string) "pair 1" "x-z" (Cpoint.pair_name p 1);
+  Alcotest.(check string) "pair 2" "y-z" (Cpoint.pair_name p 2)
+
+let test_cpoint_persistent () =
+  let reg = registry () in
+  let p = Cpoint.point reg ~name:"t.pers" ~component:Sonar_ir.Component.Lsu
+      ~sources:[ "ld"; "st" ] ~persistent_subs:64 () in
+  Cpoint.open_window reg;
+  Cpoint.set_cycle reg 1;
+  Cpoint.persistent reg p ~tainted:false ~source:0 ~sub:5 ~data:1L;
+  checkb "untainted persistent ignored" true (Cpoint.triggered_subs p = []);
+  Cpoint.persistent reg p ~tainted:true ~source:0 ~sub:5 ~data:1L;
+  checkb "tainted persistent triggers" true
+    (List.exists (fun (k, _) -> k = Cpoint.Persistent) (Cpoint.triggered_subs p))
+
+let test_cpoint_snapshot_diff () =
+  let mk hits =
+    let reg = registry () in
+    let p = Cpoint.point reg ~name:"t.snap" ~component:Sonar_ir.Component.Lsu
+        ~sources:[ "a"; "b" ] () in
+    Cpoint.open_window reg;
+    for c = 1 to hits do
+      Cpoint.set_cycle reg c;
+      Cpoint.request reg p ~tainted:true ~source:0 ~data:(Int64.of_int c)
+    done;
+    Cpoint.snapshot p
+  in
+  checkb "same activity: no diff" true
+    (Cpoint.diff_snapshots [ mk 3 ] [ mk 3 ] = []);
+  checkb "different activity: diff" true
+    (Cpoint.diff_snapshots [ mk 3 ] [ mk 5 ] <> [])
+
+(* --- Cache --- *)
+
+let cache_cfg = { Config.size_kb = 32; ways = 8; line_bytes = 64; hit_latency = 3 }
+
+let test_cache_hit_miss () =
+  let c = Cache.create cache_cfg in
+  checkb "cold miss" false (Cache.probe c 0x1000L);
+  ignore (Cache.fill c 0x1000L ~seq:1 ~cycle:10 ~tainted:false);
+  checkb "hit after fill" true (Cache.probe c 0x1000L);
+  checkb "same line different word" true (Cache.probe c 0x1020L);
+  checkb "different line" false (Cache.probe c 0x1040L)
+
+let test_cache_eviction () =
+  let c = Cache.create cache_cfg in
+  (* 32KB/8w/64B = 64 sets; stride 4096 hits the same set. *)
+  for k = 0 to 7 do
+    ignore (Cache.fill c (Int64.of_int (4096 * k)) ~seq:k ~cycle:k ~tainted:false)
+  done;
+  checkb "all ways resident" true (Cache.probe c 0L);
+  let victim = Cache.fill c (Int64.of_int (4096 * 8)) ~seq:9 ~cycle:9 ~tainted:true in
+  checkb "eviction happened" true (victim <> None);
+  checkb "LRU way evicted" false (Cache.probe c 0L);
+  checkb "recently evicted recorded" true
+    (match Cache.recently_evicted c 0L with
+    | Some (9, true) -> true
+    | _ -> false)
+
+let test_cache_dirty () =
+  let c = Cache.create cache_cfg in
+  ignore (Cache.fill c 0x2000L ~seq:1 ~cycle:1 ~tainted:false);
+  checkb "clean after fill" false (Cache.is_dirty c 0x2000L);
+  checkb "mark dirty" true (Cache.mark_dirty c 0x2000L);
+  checkb "dirty now" true (Cache.is_dirty c 0x2000L);
+  checkb "mark missing line" false (Cache.mark_dirty c 0x9000L)
+
+let test_cache_fill_info () =
+  let c = Cache.create cache_cfg in
+  ignore (Cache.fill c 0x3000L ~seq:42 ~cycle:7 ~tainted:true);
+  match Cache.lookup c 0x3000L with
+  | Some info ->
+      checki "filler seq" 42 info.Cache.filler_seq;
+      checkb "filler taint" true info.filler_tainted
+  | None -> Alcotest.fail "expected hit"
+
+(* --- Exec units --- *)
+
+let test_exec_alu_slots () =
+  let reg = registry () in
+  let pool = Exec_unit.create Config.boom reg ~core:0 in
+  Exec_unit.new_cycle pool ~cycle:1;
+  checkb "slot 1" true (Exec_unit.try_issue_alu pool ~cycle:1 ~tainted:false <> None);
+  checkb "slot 2" true (Exec_unit.try_issue_alu pool ~cycle:1 ~tainted:false <> None);
+  checkb "slot 3" true (Exec_unit.try_issue_alu pool ~cycle:1 ~tainted:false <> None);
+  checkb "no slot 4" true (Exec_unit.try_issue_alu pool ~cycle:1 ~tainted:false = None);
+  Exec_unit.new_cycle pool ~cycle:2;
+  checkb "fresh next cycle" true (Exec_unit.try_issue_alu pool ~cycle:2 ~tainted:false <> None)
+
+let test_exec_div_unpipelined () =
+  let reg = registry () in
+  let pool = Exec_unit.create Config.boom reg ~core:0 in
+  Exec_unit.new_cycle pool ~cycle:1;
+  let first = Exec_unit.try_issue_div pool ~cycle:1 ~operand:1000L ~tainted:false in
+  checkb "first div accepted" true (first <> None);
+  checkb "second div refused" true
+    (Exec_unit.try_issue_div pool ~cycle:2 ~operand:1000L ~tainted:false = None);
+  let done_at = Option.get first in
+  checkb "free after completion" true
+    (Exec_unit.try_issue_div pool ~cycle:done_at ~operand:1000L ~tainted:false <> None)
+
+let test_exec_wb_priority () =
+  let reg = registry () in
+  let pool = Exec_unit.create Config.boom reg ~core:0 in
+  (* boom has 2 writeback ports; a div, a mul and two alus contend. *)
+  Exec_unit.request_writeback pool Exec_unit.Wb_div ~id:1 ~cycle:5 ~tainted:false;
+  Exec_unit.request_writeback pool Exec_unit.Wb_alu ~id:2 ~cycle:5 ~tainted:false;
+  Exec_unit.request_writeback pool Exec_unit.Wb_mul ~id:3 ~cycle:5 ~tainted:false;
+  Exec_unit.request_writeback pool Exec_unit.Wb_alu ~id:4 ~cycle:5 ~tainted:false;
+  let granted = Exec_unit.arbitrate_writeback pool ~cycle:5 in
+  Alcotest.(check (list int)) "alus win the ports" [ 2; 4 ] granted;
+  let granted2 = Exec_unit.arbitrate_writeback pool ~cycle:6 in
+  Alcotest.(check (list int)) "mul then div next" [ 3; 1 ] granted2
+
+let test_exec_mdu_shared () =
+  let reg = Cpoint.create Config.nutshell in
+  let pool = Exec_unit.create Config.nutshell reg ~core:0 in
+  Exec_unit.new_cycle pool ~cycle:1;
+  checkb "mul takes mdu" true
+    (Exec_unit.try_issue_mul pool ~cycle:1 ~operand:10L ~tainted:false <> None);
+  checkb "div blocked by mul" true
+    (Exec_unit.try_issue_div pool ~cycle:2 ~operand:10L ~tainted:false = None)
+
+(* --- Machine --- *)
+
+let straightline_program rng_seed =
+  let rng = Sonar.Rng.create rng_seed in
+  let instrs =
+    Sonar.Testcase.random_instr rng
+    @ Sonar.Testcase.random_instr rng
+    @ Sonar.Testcase.random_instr rng
+  in
+  Program.make
+    (Asm.li (r 11) 0x10000000L @ Asm.li (r 20) 0x10001000L
+    @ Asm.li (r 21) 0x10002000L @ Asm.li (r 22) 0x10004000L
+    @ instrs @ [ Asm.halt ])
+
+let test_machine_commits_match_golden () =
+  (* The timing model must commit exactly the golden architectural trace. *)
+  for seed = 1 to 20 do
+    let p = straightline_program (Int64.of_int seed) in
+    let g = Golden.run p in
+    let m = Machine.run_single Config.boom p in
+    let commits = m.Machine.cores.(0).commits in
+    checki
+      (Printf.sprintf "commit count (seed %d)" seed)
+      (Array.length g.Golden.trace)
+      (List.length commits);
+    List.iteri
+      (fun i (c : Core_model.commit_record) ->
+        checkb "same dynamic instruction" true
+          (Instr.equal c.c_eff.Golden.instr g.Golden.trace.(i).Golden.instr))
+      commits
+  done
+
+let test_machine_commit_order_monotonic () =
+  let p = straightline_program 7L in
+  let m = Machine.run_single Config.nutshell p in
+  let cycles = List.map (fun (c : Core_model.commit_record) -> c.c_cycle)
+      m.Machine.cores.(0).commits in
+  checkb "commit cycles non-decreasing" true
+    (List.for_all2 (fun a b -> a <= b)
+       (List.filteri (fun i _ -> i < List.length cycles - 1) cycles)
+       (List.tl cycles))
+
+let test_machine_cycle_limit () =
+  let p = straightline_program 3L in
+  let m = Machine.run_single ~max_cycles:10 Config.boom p in
+  checkb "hit the limit" true m.Machine.hit_cycle_limit
+
+let test_machine_dual_core () =
+  let p0 = straightline_program 4L and p1 = straightline_program 5L in
+  let m =
+    Machine.run Config.boom
+      [|
+        { Machine.program = p0; secret_range = None };
+        { Machine.program = p1; secret_range = None };
+      |]
+  in
+  checkb "both cores commit" true
+    (m.Machine.cores.(0).commits <> [] && m.Machine.cores.(1).commits <> [])
+
+let test_machine_warm_faster_than_cold () =
+  (* Second access to the same line is faster: the memory system works. *)
+  let prog warm =
+    Program.make
+      (Asm.li (r 11) 0x10000000L
+      @ (if warm then [ Instr.Load (Instr.LD, r 5, r 11, 0) ] else [ Asm.nop ])
+      @ [ Instr.Load (Instr.LD, r 6, r 11, 0); Asm.halt ])
+  in
+  let cold = Machine.run_single Config.boom (prog false) in
+  let warm = Machine.run_single Config.boom (prog true) in
+  checkb "warm run not slower" true (warm.Machine.cycles <= cold.Machine.cycles + 60);
+  (* The cold run's lone load takes a miss; in the warm run the second load
+     hits the line the first brought in, so total cycles are smaller or the
+     same despite executing one more load. *)
+  checkb "dcache provides reuse" true (warm.Machine.cycles < cold.Machine.cycles + 40)
+
+let test_machine_window_bounds () =
+  let p = straightline_program 9L in
+  let m =
+    Machine.run Config.boom [| { Machine.program = p; secret_range = Some (3, 5) } |]
+  in
+  match m.Machine.window with
+  | Some (a, b) -> checkb "window well-formed" true (a <= b)
+  | None -> Alcotest.fail "window never opened"
+
+(* Golden/uarch architectural equivalence over random testcases. *)
+let prop_machine_matches_golden =
+  QCheck2.Test.make ~name:"uarch commits = golden trace (random testcases)"
+    ~count:25
+    QCheck2.Gen.(int_range 1 10_000)
+    (fun seed ->
+      let rng = Sonar.Rng.create (Int64.of_int seed) in
+      let tc = Sonar.Testcase.random rng ~id:seed ~dual:false in
+      let inputs = Sonar.Testcase.materialize tc ~secret:1 in
+      let g = Golden.run inputs.(0).Machine.program in
+      let m = Machine.run Config.boom inputs in
+      List.length m.Machine.cores.(0).commits = Array.length g.Golden.trace)
+
+let qcheck = List.map QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "sonar_uarch"
+    [
+      ( "config",
+        [
+          Alcotest.test_case "lookup" `Quick test_config_lookup;
+          Alcotest.test_case "table 1 values" `Quick test_config_table1;
+          Alcotest.test_case "fanout prefixes" `Quick test_config_fanout_prefix;
+        ] );
+      ( "cpoint",
+        [
+          Alcotest.test_case "intervals and triggers" `Quick test_cpoint_intervals_and_triggers;
+          Alcotest.test_case "taint gating" `Quick test_cpoint_taint_gating;
+          Alcotest.test_case "window gating" `Quick test_cpoint_window_gating;
+          Alcotest.test_case "single source" `Quick test_cpoint_single_source;
+          Alcotest.test_case "pair names" `Quick test_cpoint_pair_name;
+          Alcotest.test_case "persistent subs" `Quick test_cpoint_persistent;
+          Alcotest.test_case "snapshot diff" `Quick test_cpoint_snapshot_diff;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "hit/miss" `Quick test_cache_hit_miss;
+          Alcotest.test_case "eviction + LRU" `Quick test_cache_eviction;
+          Alcotest.test_case "dirty bits" `Quick test_cache_dirty;
+          Alcotest.test_case "fill info" `Quick test_cache_fill_info;
+        ] );
+      ( "exec_unit",
+        [
+          Alcotest.test_case "alu slots" `Quick test_exec_alu_slots;
+          Alcotest.test_case "div unpipelined" `Quick test_exec_div_unpipelined;
+          Alcotest.test_case "writeback priority" `Quick test_exec_wb_priority;
+          Alcotest.test_case "nutshell mdu" `Quick test_exec_mdu_shared;
+        ] );
+      ( "machine",
+        [
+          Alcotest.test_case "commits match golden" `Quick test_machine_commits_match_golden;
+          Alcotest.test_case "commit order" `Quick test_machine_commit_order_monotonic;
+          Alcotest.test_case "cycle limit" `Quick test_machine_cycle_limit;
+          Alcotest.test_case "dual core" `Quick test_machine_dual_core;
+          Alcotest.test_case "cache reuse" `Quick test_machine_warm_faster_than_cold;
+          Alcotest.test_case "monitoring window" `Quick test_machine_window_bounds;
+        ]
+        @ qcheck [ prop_machine_matches_golden ] );
+    ]
