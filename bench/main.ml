@@ -12,6 +12,13 @@ let fuzz_iterations = if full then 3000 else 400
 let poc_trials = if full then 100 else 8
 let poc_bits = if full then 128 else 32
 
+(* Shared worker pool: independent per-DUT computations (summaries,
+   campaigns, channel measurements, PoCs) fan out across it; printing stays
+   sequential so the report reads cleanly. All fanned tasks are pure, so
+   results are identical to a sequential run. *)
+let pool = lazy (Sonar.Domain_pool.create ())
+let pmap f xs = Sonar.Domain_pool.map_list (Lazy.force pool) f xs
+
 let section id title =
   Printf.printf "\n==================================================\n";
   Printf.printf "%s — %s\n" id title;
@@ -36,7 +43,7 @@ let table1 () =
 (* Figure 6 / Figure 7: contention-point identification and filtering. *)
 
 let summaries = lazy (
-  List.map
+  pmap
     (fun cfg ->
       let circuit = Sonar_dut.Netlist_gen.generate ~pad:false cfg in
       (cfg, circuit, Sonar_ir.Analysis.summarize circuit))
@@ -75,7 +82,7 @@ let fig7 () =
 
 let table2 () =
   section "table2" "Instrumentation overhead of Sonar (Table 2)";
-  List.iter
+  pmap
     (fun cfg ->
       let name = cfg.Sonar_uarch.Config.name in
       (* "Compile": netlist generation + analysis (plain) vs + instrumentation. *)
@@ -116,9 +123,9 @@ let table2 () =
               (Sonar.Fuzzer.run ~seed:5L cfg Sonar.Fuzzer.full_strategy
                  ~iterations:iters))
       in
-      Printf.printf
+      Printf.sprintf
         "%-10s points %5d | compile %.2fs (+%.0f%%) | new stmts %.0fk (%.0f%%) \
-         | sim %.0fk -> %.0fk cyc/s (-%.0f%%) | fuzzing %.0f/hour\n"
+         | sim %.0fk -> %.0fk cyc/s (-%.0f%%) | fuzzing %.0f/hour"
         name instr_result.points_instrumented compile_instr
         (100. *. (compile_instr -. compile_plain) /. compile_plain)
         (added /. 1000.)
@@ -126,7 +133,8 @@ let table2 () =
         (hz_plain /. 1000.) (hz_instr /. 1000.)
         (100. *. (hz_plain -. hz_instr) /. hz_plain)
         (3600. /. (t_fuzz /. float_of_int iters)))
-    [ Sonar_uarch.Config.boom; Sonar_uarch.Config.nutshell ];
+    [ Sonar_uarch.Config.boom; Sonar_uarch.Config.nutshell ]
+  |> List.iter print_endline;
   Printf.printf
     "(paper: compile +43%%/+45%%; new verilog 14%%/20%%; sim slowdown \
      26%%/38%%; fuzzing 239/h BOOM, 7596/h NutShell)\n"
@@ -142,17 +150,25 @@ let checkpoints series n =
 
 let fig8 () =
   section "fig8" "Triggered contentions and timing differences vs random";
-  List.iter
-    (fun cfg ->
+  (* All four campaigns (2 DUTs x {sonar, random}) run concurrently. *)
+  let campaigns =
+    pmap
+      (fun (cfg, guided) ->
+        if guided then
+          Sonar.Fuzzer.run ~seed:42L cfg Sonar.Fuzzer.full_strategy
+            ~iterations:fuzz_iterations
+        else
+          Sonar.Baseline.random_testing ~seed:42L cfg ~iterations:fuzz_iterations)
+      (List.concat_map
+         (fun cfg -> [ (cfg, true); (cfg, false) ])
+         [ Sonar_uarch.Config.boom; Sonar_uarch.Config.nutshell ])
+  in
+  List.iteri
+    (fun i cfg ->
       let name = cfg.Sonar_uarch.Config.name in
       Printf.printf "--- %s (%d iterations per fuzzer) ---\n%!" name fuzz_iterations;
-      let sonar =
-        Sonar.Fuzzer.run ~seed:42L cfg Sonar.Fuzzer.full_strategy
-          ~iterations:fuzz_iterations
-      in
-      let random =
-        Sonar.Baseline.random_testing ~seed:42L cfg ~iterations:fuzz_iterations
-      in
+      let sonar = List.nth campaigns (2 * i) in
+      let random = List.nth campaigns ((2 * i) + 1) in
       List.iter2
         (fun (a : Sonar.Fuzzer.series_point) (b : Sonar.Fuzzer.series_point) ->
           Printf.printf
@@ -181,13 +197,14 @@ let fig8 () =
 
 let fig9 () =
   section "fig9" "Single-valid-signal dominance in the first 20 testcases";
-  List.iter
+  pmap
     (fun cfg ->
       let o = Sonar.Fuzzer.run ~seed:7L cfg Sonar.Fuzzer.full_strategy ~iterations:20 in
-      Printf.printf "%-10s single-valid share of early coverage: %.0f%%\n"
+      Printf.sprintf "%-10s single-valid share of early coverage: %.0f%%"
         cfg.Sonar_uarch.Config.name
         (100. *. o.single_valid_share_first20))
-    [ Sonar_uarch.Config.boom; Sonar_uarch.Config.nutshell ];
+    [ Sonar_uarch.Config.boom; Sonar_uarch.Config.nutshell ]
+  |> List.iter print_endline;
   Printf.printf "(paper: contentions triggered by the first 20 testcases are \
                  dominated by single valid signals)\n"
 
@@ -207,14 +224,15 @@ let fig10 () =
       ("full (directed mutation)", Sonar.Fuzzer.full_strategy);
     ]
   in
-  List.iter
+  pmap
     (fun (name, strategy) ->
       let o =
         Sonar.Fuzzer.run ~seed:42L Sonar_uarch.Config.boom strategy ~iterations:iters
       in
-      Printf.printf "%-26s coverage %8.0f  timing diffs %6d\n" name
+      Printf.sprintf "%-26s coverage %8.0f  timing diffs %6d" name
         o.final_coverage o.final_timing_diffs)
-    strategies;
+    strategies
+  |> List.iter print_endline;
   Printf.printf "(paper: each added strategy increases triggered contentions, \
                  most visibly late in the campaign)\n"
 
@@ -224,11 +242,19 @@ let fig10 () =
 let fig11 () =
   section "fig11" "Sonar vs SpecDoctor: new contention points; instrumentation complexity";
   let iters = max 200 (fuzz_iterations / 2) in
-  let sonar =
-    Sonar.Fuzzer.run ~seed:11L Sonar_uarch.Config.boom Sonar.Fuzzer.full_strategy
-      ~iterations:iters
+  let p = Lazy.force pool in
+  let sonar_f =
+    Sonar.Domain_pool.submit p (fun () ->
+        Sonar.Fuzzer.run ~seed:11L Sonar_uarch.Config.boom
+          Sonar.Fuzzer.full_strategy ~iterations:iters)
   in
-  let sd = Sonar.Baseline.specdoctor ~seed:11L Sonar_uarch.Config.boom ~iterations:iters in
+  let sd_f =
+    Sonar.Domain_pool.submit p (fun () ->
+        Sonar.Baseline.specdoctor ~seed:11L Sonar_uarch.Config.boom
+          ~iterations:iters)
+  in
+  let sonar = Sonar.Domain_pool.await sonar_f in
+  let sd = Sonar.Domain_pool.await sd_f in
   let sd_final = (List.nth sd (List.length sd - 1)).Sonar.Fuzzer.coverage in
   Printf.printf "after %d iterations: sonar %.0f vs specdoctor %.0f contention \
                  points (%.2fx; paper: 2.13x)\n"
@@ -256,34 +282,31 @@ let table3 () =
   section "table3" "Contention side channels found by Sonar (Table 3)";
   Printf.printf "%-4s %-10s %-9s %-4s %-18s %-10s %s\n" "#" "resource" "DUT" "new"
     "measured delta" "paper" "detector";
-  List.iter
-    (fun c ->
-      let m = Sonar.Channels.measure c in
-      Printf.printf "%-4s %-10s %-9s %-4s %14d cyc %5d-%-4d %s%s\n"
-        c.Sonar.Channels.id c.resource c.dut
-        (if c.is_new then "yes" else "no")
-        m.time_difference (fst c.paper_band) (snd c.paper_band)
-        (if m.in_band then "band-ok" else "OFF-BAND")
-        (if m.points_implicated then ", point implicated" else ", POINT MISSING"))
-    Sonar.Channels.all
+  pmap (fun c -> (c, Sonar.Channels.measure c)) Sonar.Channels.all
+  |> List.iter (fun ((c : Sonar.Channels.t), (m : Sonar.Channels.measurement)) ->
+         Printf.printf "%-4s %-10s %-9s %-4s %14d cyc %5d-%-4d %s%s\n"
+           c.Sonar.Channels.id c.resource c.dut
+           (if c.is_new then "yes" else "no")
+           m.time_difference (fst c.paper_band) (snd c.paper_band)
+           (if m.in_band then "band-ok" else "OFF-BAND")
+           (if m.points_implicated then ", point implicated" else ", POINT MISSING"))
 
 (* ------------------------------------------------------------------ *)
 (* §8.5: exploitability.                                               *)
 
 let exploit () =
   section "exploit" "Meltdown-style PoC accuracy (§8.5)";
-  List.iter
+  List.filter_map
     (fun c ->
-      match Sonar.Attack.gadget_for c.Sonar.Channels.id with
-      | None -> ()
-      | Some gadget ->
-          let cfg = Option.get (Sonar_uarch.Config.by_name c.dut) in
-          let r =
-            Sonar.Attack.run_poc ~trials:poc_trials ~key_bits:poc_bits cfg
-              ~channel_id:c.id gadget
-          in
-          Format.printf "%a@." Sonar.Attack.pp_result r)
-    Sonar.Channels.all;
+      Option.map
+        (fun gadget -> (c, gadget))
+        (Sonar.Attack.gadget_for c.Sonar.Channels.id))
+    Sonar.Channels.all
+  |> pmap (fun ((c : Sonar.Channels.t), gadget) ->
+         let cfg = Option.get (Sonar_uarch.Config.by_name c.dut) in
+         Sonar.Attack.run_poc ~trials:poc_trials ~key_bits:poc_bits cfg
+           ~channel_id:c.id gadget)
+  |> List.iter (fun r -> Format.printf "%a@." Sonar.Attack.pp_result r);
   Printf.printf
     "(paper: >99%% key accuracy for S1-S7/S11-S12 on BOOM; <2%% on NutShell \
      because exceptions are detected before the channel is established)\n"
@@ -309,6 +332,46 @@ let mitigation () =
         [ 1; 8; 32; 128; 512 ];
       print_newline ())
     [ ("S11", Sonar.Attack.Cache_probe); ("S1", Sonar.Attack.Channel_occupancy) ]
+
+(* ------------------------------------------------------------------ *)
+(* Parallel execution: wall-clock jobs=1 vs jobs=N, determinism check.  *)
+
+let speedup () =
+  section "speedup" "Parallel fuzzing wall-clock: jobs=1 vs jobs=N";
+  let cfg = Sonar_uarch.Config.boom in
+  let iters = fuzz_iterations in
+  let jobs_n = max 2 (Sonar.Domain_pool.default_jobs ()) in
+  Printf.printf "%s, %d iterations, full strategy, batch=%d\n%!"
+    cfg.Sonar_uarch.Config.name iters Sonar.Fuzzer.default_batch;
+  let campaign jobs =
+    Sonar.Fuzzer.run ~seed:42L ~jobs cfg Sonar.Fuzzer.full_strategy
+      ~iterations:iters
+  in
+  let o1, t1 = time_it (fun () -> campaign 1) in
+  Printf.printf "  jobs=1   %8.2fs\n%!" t1;
+  let on, tn = time_it (fun () -> campaign jobs_n) in
+  let speedup = t1 /. tn in
+  Printf.printf "  jobs=%-3d %8.2fs  (%.2fx)\n%!" jobs_n tn speedup;
+  let identical = o1 = on in
+  Printf.printf "  outcomes bit-identical across job counts: %b\n" identical;
+  let oc = open_out "BENCH_parallel.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"dut\": \"%s\",\n\
+    \  \"iterations\": %d,\n\
+    \  \"batch\": %d,\n\
+    \  \"jobs\": %d,\n\
+    \  \"seconds_jobs1\": %.3f,\n\
+    \  \"seconds_jobsN\": %.3f,\n\
+    \  \"speedup\": %.3f,\n\
+    \  \"identical_outcomes\": %b,\n\
+    \  \"final_coverage\": %.3f,\n\
+    \  \"final_timing_diffs\": %d\n\
+     }\n"
+    cfg.Sonar_uarch.Config.name iters Sonar.Fuzzer.default_batch jobs_n t1 tn
+    speedup identical o1.Sonar.Fuzzer.final_coverage o1.final_timing_diffs;
+  close_out oc;
+  Printf.printf "  wrote BENCH_parallel.json\n"
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: per-experiment kernels.                   *)
@@ -383,6 +446,7 @@ let experiments =
     ("table3", table3);
     ("exploit", exploit);
     ("mitigation", mitigation);
+    ("speedup", speedup);
     ("bechamel", bechamel);
   ]
 
@@ -400,5 +464,6 @@ let () =
           Printf.printf "unknown experiment %s (available: %s)\n" id
             (String.concat ", " (List.map fst experiments)))
     selected;
+  if Lazy.is_val pool then Sonar.Domain_pool.shutdown (Lazy.force pool);
   Printf.printf "\nAll selected experiments completed%s.\n"
     (if full then " (full scale)" else " (reduced scale; SONAR_BENCH_FULL=1 for paper scale)")

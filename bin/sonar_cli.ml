@@ -26,7 +26,7 @@ let analyze dut =
         (Sonar_ir.Analysis.summarize circuit);
       0
 
-let fuzz dut iterations seed random_mode dual =
+let fuzz dut iterations seed random_mode dual jobs =
   match config_of_name dut with
   | Error (`Msg m) -> prerr_endline m; 1
   | Ok cfg ->
@@ -34,8 +34,12 @@ let fuzz dut iterations seed random_mode dual =
         if random_mode then Sonar.Fuzzer.random_strategy
         else Sonar.Fuzzer.full_strategy
       in
+      let jobs =
+        match jobs with Some j -> max 1 j | None -> Sonar.Domain_pool.default_jobs ()
+      in
       let o =
-        Sonar.Fuzzer.run ~seed:(Int64.of_int seed) ~dual cfg strategy ~iterations
+        Sonar.Fuzzer.run ~seed:(Int64.of_int seed) ~dual ~jobs cfg strategy
+          ~iterations
       in
       Format.printf
         "%s, %d iterations (%s):@.  contention coverage %.0f netlist points@.  \
@@ -103,8 +107,18 @@ let fuzz_cmd =
   let dual =
     Arg.(value & flag & info [ "dual" ] ~doc:"Dual-core testcases (Figure 4b).")
   in
+  let jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Worker domains for parallel testcase execution (default: \
+             \\$(b,SONAR_JOBS) or the core count). Results are identical \
+             for every N; only wall-clock changes.")
+  in
   Cmd.v (Cmd.info "fuzz" ~doc)
-    Term.(const fuzz $ dut_arg $ iters $ seed $ random_mode $ dual)
+    Term.(const fuzz $ dut_arg $ iters $ seed $ random_mode $ dual $ jobs)
 
 let channels_cmd =
   let doc = "measure the catalogued side channels (Table 3)" in

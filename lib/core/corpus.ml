@@ -1,24 +1,43 @@
+type point = string * int
+
 type entry = {
   tc : Testcase.t;
-  intervals : (string * int) list;
+  intervals : (point * int) list;
 }
 
 type t = {
-  mutable entries : entry list;  (* newest first *)
-  best : (string, int) Hashtbl.t;
-  attempts : (string, int) Hashtbl.t;
+  ring : entry option array;  (* capacity max_entries; oldest overwritten *)
+  mutable next : int;  (* next write slot *)
+  mutable count : int;
+  best : (point, int) Hashtbl.t;
+  attempts : (point, int) Hashtbl.t;
       (* selections of a target since its best last improved; stuck targets
          (e.g. structurally impossible pairs) lose selection weight *)
-  max_entries : int;
 }
 
 let create ?(max_entries = 256) () =
+  if max_entries < 1 then invalid_arg "Corpus.create: max_entries must be >= 1";
   {
-    entries = [];
+    ring = Array.make max_entries None;
+    next = 0;
+    count = 0;
     best = Hashtbl.create 64;
     attempts = Hashtbl.create 64;
-    max_entries;
   }
+
+let size t = t.count
+
+let capacity t = Array.length t.ring
+
+let entries t =
+  let cap = capacity t in
+  List.init t.count (fun i -> Option.get t.ring.((t.next - 1 - i + (2 * cap)) mod cap))
+
+let add_entry t e =
+  (* Overwriting the slot evicts the oldest entry once the ring is full. *)
+  t.ring.(t.next) <- Some e;
+  t.next <- (t.next + 1) mod capacity t;
+  if t.count < capacity t then t.count <- t.count + 1
 
 let consider t tc ~intervals =
   let improves =
@@ -38,15 +57,7 @@ let consider t tc ~intervals =
             Hashtbl.replace t.best point v;
             Hashtbl.remove t.attempts point)
       intervals;
-    t.entries <- { tc; intervals } :: t.entries;
-    if List.length t.entries > t.max_entries then begin
-      let rec take n = function
-        | [] -> []
-        | _ when n = 0 -> []
-        | x :: rest -> x :: take (n - 1) rest
-      in
-      t.entries <- take t.max_entries t.entries
-    end;
+    add_entry t { tc; intervals };
     true
   end
   else false
@@ -82,22 +93,22 @@ let select t rng =
   | Some (point, v) -> (
       Hashtbl.replace t.attempts point
         (1 + Option.value ~default:0 (Hashtbl.find_opt t.attempts point));
+      let all = entries t in
       let achievers =
         List.filter
           (fun e ->
             match List.assoc_opt point e.intervals with
             | Some ev -> ev = v
             | None -> false)
-          t.entries
+          all
       in
       match achievers with
       | [] -> (
           (* Fall back to any seed if bookkeeping and entries diverged
              (e.g. after eviction). *)
-          match t.entries with
+          match all with
           | [] -> None
           | es -> Some (Rng.pick rng es, point))
       | es -> Some (Rng.pick rng es, point))
 
 let best_interval t point = Hashtbl.find_opt t.best point
-let size t = List.length t.entries

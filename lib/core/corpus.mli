@@ -5,26 +5,33 @@
     closest to, but not at, interval zero, and picks uniformly among the
     retained testcases achieving that minimum there. *)
 
+type point = string * int
+(** A tracked target: (contention point name, source-pair id). *)
+
 type entry = {
   tc : Testcase.t;
-  intervals : (string * int) list;  (** min pairwise interval per point *)
+  intervals : (point * int) list;  (** min pairwise interval per point *)
 }
 
 type t
 
 val create : ?max_entries:int -> unit -> t
 
-val consider : t -> Testcase.t -> intervals:(string * int) list -> bool
+val consider : t -> Testcase.t -> intervals:(point * int) list -> bool
 (** Add the testcase if it improves any point's best interval; returns
-    whether it was retained. The oldest entries are evicted beyond
-    [max_entries]. *)
+    whether it was retained. Beyond [max_entries] the oldest entry is
+    evicted in O(1) (ring buffer overwrite). *)
 
-val select : t -> Rng.t -> (entry * string) option
+val select : t -> Rng.t -> (entry * point) option
 (** A seed to mutate plus the target contention point (the one with the
     smallest non-zero best interval). [None] while the corpus is empty or
     every tracked point already reached zero. *)
 
-val best_interval : t -> string -> int option
+val best_interval : t -> point -> int option
 (** Best (smallest) interval recorded for a point so far. *)
 
 val size : t -> int
+(** Retained entry count; O(1). *)
+
+val entries : t -> entry list
+(** All retained entries, newest first. *)

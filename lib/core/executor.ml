@@ -14,6 +14,28 @@ let run_pair ?max_cycles cfg build =
 let execute ?max_cycles cfg tc =
   run_pair ?max_cycles cfg (fun ~secret -> Testcase.materialize tc ~secret)
 
+let execute_batch ?max_cycles ?pool cfg tcs =
+  match pool with
+  | None -> List.map (execute ?max_cycles cfg) tcs
+  | Some pool ->
+      (* Fan both secret-runs of every testcase across the pool, then
+         assemble pairs in submission order. [Machine.run] allocates all of
+         its mutable state (cores, memsys, cpoint registries) per call, so
+         the runs are independent; see domain_pool.mli. *)
+      let futures =
+        List.map
+          (fun tc ->
+            let run secret () =
+              Machine.run ?max_cycles cfg (Testcase.materialize tc ~secret)
+            in
+            (Domain_pool.submit pool (run 0), Domain_pool.submit pool (run 1)))
+          tcs
+      in
+      List.map
+        (fun (f0, f1) ->
+          { run0 = Domain_pool.await f0; run1 = Domain_pool.await f1 })
+        futures
+
 let min_opt a b =
   match (a, b) with
   | Some x, Some y -> Some (min x y)
@@ -21,14 +43,15 @@ let min_opt a b =
   | None, None -> None
 
 let min_intervals pair =
-  (* Keys are per source pair: "<point>/<pair-id>". *)
+  (* Keyed per (point, source pair); tuple keys avoid allocating a
+     formatted string per interval per run on the fuzzer's hot path. *)
   let table = Hashtbl.create 64 in
   let absorb (r : Machine.result) =
     List.iter
       (fun (ps : Machine.point_stat) ->
         List.iter
           (fun (pair_id, v) ->
-            let key = Printf.sprintf "%s/%d" ps.ps_name pair_id in
+            let key = (ps.ps_name, pair_id) in
             match min_opt (Hashtbl.find_opt table key) (Some v) with
             | Some v -> Hashtbl.replace table key v
             | None -> ())

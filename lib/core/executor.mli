@@ -20,9 +20,22 @@ val run_pair :
 val execute :
   ?max_cycles:int -> Sonar_uarch.Config.t -> Testcase.t -> pair
 
-val min_intervals : pair -> (string * int) list
-(** Per contention point, the smaller of the two runs' minimum pairwise
-    [reqsIntvl] (points that never saw two sources are absent). *)
+val execute_batch :
+  ?max_cycles:int ->
+  ?pool:Domain_pool.t ->
+  Sonar_uarch.Config.t ->
+  Testcase.t list ->
+  pair list
+(** Execute every testcase, fanning the two secret-runs inside each pair
+    across [pool] (sequential when no pool is given). Results are in input
+    order and element-wise identical to {!execute} per testcase: each
+    [Machine.run] allocates all of its mutable state per call, so the runs
+    share nothing. *)
+
+val min_intervals : pair -> ((string * int) * int) list
+(** Per (contention point, source pair), the smaller of the two runs'
+    minimum pairwise [reqsIntvl] (points that never saw two sources are
+    absent). *)
 
 val triggered : pair -> ((string * Sonar_uarch.Cpoint.kind * int) * float) list
 (** Union over both runs of triggered sub-points, with the netlist weight

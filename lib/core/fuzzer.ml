@@ -24,7 +24,20 @@ type outcome = {
   reports : (int * Detector.report) list;
 }
 
-let run ?(seed = 1L) ?(dual = false) ?max_cycles cfg strategy ~iterations =
+let default_batch = 8
+
+(* A generated candidate awaiting execution: its iteration number, the
+   directed-mutation target captured at generation time (pre-mutation best
+   interval included), and the testcase itself. *)
+type candidate = {
+  cand_iteration : int;
+  cand_target : (Corpus.point * int option) option;
+  cand_tc : Testcase.t;
+}
+
+let run ?(seed = 1L) ?(dual = false) ?max_cycles ?(jobs = 1) ?(batch = default_batch)
+    cfg strategy ~iterations =
+  if batch < 1 then invalid_arg "Fuzzer.run: batch must be >= 1";
   let rng = Rng.create seed in
   let corpus = Corpus.create () in
   let mstate = Mutation.create_state () in
@@ -35,39 +48,47 @@ let run ?(seed = 1L) ?(dual = false) ?max_cycles cfg strategy ~iterations =
   let series = ref [] in
   let reports = ref [] in
   let sv_weight_20 = ref 0. and total_weight_20 = ref 0. in
-  (* Pending directed-mutation feedback: target point and its pre-mutation
-     best interval. *)
-  let pending_target = ref None in
-  for iteration = 1 to iterations do
-    let tc =
-      let fresh () = Testcase.random rng ~id:iteration ~dual in
-      if strategy.selection then begin
-        match Corpus.select corpus rng with
-        | Some (entry, point) when Rng.chance rng 0.75 ->
-            pending_target :=
-              Some (point, Corpus.best_interval corpus point);
-            Mutation.mutate rng mstate
+  (* Generation phase: draw one candidate, sequentially, against the corpus
+     and mutation state as of the previous generation. Every candidate gets
+     its own split RNG stream, so the draw depends only on the (seed,
+     iteration-order) prefix — never on worker count or scheduling. *)
+  let generate iteration =
+    let crng = Rng.split rng in
+    let fresh () = Testcase.random crng ~id:iteration ~dual in
+    if strategy.selection then begin
+      match Corpus.select corpus crng with
+      | Some (entry, point) when Rng.chance crng 0.75 ->
+          let tc =
+            Mutation.mutate crng mstate
               ~directed_enabled:strategy.directed_mutation entry.tc
-        | Some _ | None ->
-            pending_target := None;
-            fresh ()
-      end
-      else if strategy.retention && Corpus.size corpus > 0 && Rng.chance rng 0.8
-      then begin
-        (* Retention without selection: mutate a random seed. *)
-        pending_target := None;
-        match Corpus.select corpus rng with
+          in
+          {
+            cand_iteration = iteration;
+            cand_target = Some (point, Corpus.best_interval corpus point);
+            cand_tc = tc;
+          }
+      | Some _ | None ->
+          { cand_iteration = iteration; cand_target = None; cand_tc = fresh () }
+    end
+    else if strategy.retention && Corpus.size corpus > 0 && Rng.chance crng 0.8
+    then begin
+      (* Retention without selection: mutate a random seed. *)
+      let tc =
+        match Corpus.select corpus crng with
         | Some (entry, _) ->
-            Mutation.mutate rng mstate
+            Mutation.mutate crng mstate
               ~directed_enabled:strategy.directed_mutation entry.tc
         | None -> fresh ()
-      end
-      else begin
-        pending_target := None;
-        fresh ()
-      end
-    in
-    let pair = Executor.execute ?max_cycles cfg tc in
+      in
+      { cand_iteration = iteration; cand_target = None; cand_tc = tc }
+    end
+    else { cand_iteration = iteration; cand_target = None; cand_tc = fresh () }
+  in
+  (* Fold phase: absorb one executed candidate. Runs sequentially in
+     candidate order, so coverage / corpus / detector / mutation-feedback
+     updates are identical for every worker count. *)
+  let fold cand pair =
+    let iteration = cand.cand_iteration in
     let intervals = Executor.min_intervals pair in
     let added = Coverage.add_pair coverage pair in
     if added > 0. then incr tcs_with_contention;
@@ -83,7 +104,7 @@ let run ?(seed = 1L) ?(dual = false) ?max_cycles cfg strategy ~iterations =
       reports := (iteration, report) :: !reports
     end;
     (* Directed-mutation feedback: did the target interval shrink? *)
-    (match !pending_target with
+    (match cand.cand_target with
     | Some (point, before) ->
         let after = List.assoc_opt point intervals in
         let improved =
@@ -94,7 +115,7 @@ let run ?(seed = 1L) ?(dual = false) ?max_cycles cfg strategy ~iterations =
         in
         Mutation.feedback mstate ~improved
     | None -> ());
-    if strategy.retention then ignore (Corpus.consider corpus tc ~intervals);
+    if strategy.retention then ignore (Corpus.consider corpus cand.cand_tc ~intervals);
     series :=
       {
         iteration;
@@ -103,7 +124,23 @@ let run ?(seed = 1L) ?(dual = false) ?max_cycles cfg strategy ~iterations =
         corpus_size = Corpus.size corpus;
       }
       :: !series
-  done;
+  in
+  let run_generations pool =
+    let iteration = ref 0 in
+    while !iteration < iterations do
+      let k = min batch (iterations - !iteration) in
+      let candidates = List.init k (fun j -> generate (!iteration + j + 1)) in
+      let pairs =
+        Executor.execute_batch ?max_cycles ?pool cfg
+          (List.map (fun c -> c.cand_tc) candidates)
+      in
+      List.iter2 fold candidates pairs;
+      iteration := !iteration + k
+    done
+  in
+  if jobs > 1 then
+    Domain_pool.with_pool ~jobs (fun pool -> run_generations (Some pool))
+  else run_generations None;
   {
     series = List.rev !series;
     final_coverage = Coverage.total coverage;

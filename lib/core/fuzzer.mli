@@ -13,7 +13,16 @@
 
     The strategy record switches retention / selection / directed mutation
     independently (the Figure 10 breakdown). All-off is the random-testing
-    baseline the paper compares against. *)
+    baseline the paper compares against.
+
+    {b Parallel execution.} The loop is organised in {e generations}: each
+    generation draws [batch] candidates sequentially (each from its own
+    {!Rng.split} stream), executes them across a {!Domain_pool} of [jobs]
+    workers, then folds coverage / corpus / detector / mutation-feedback
+    updates sequentially in candidate order. Selection and directed
+    mutation therefore react to feedback at generation granularity, and the
+    outcome is a pure function of (seed, strategy, iterations, batch) —
+    bit-identical for every [jobs] value. *)
 
 type strategy = {
   retention : bool;
@@ -43,11 +52,21 @@ type outcome = {
       (** (iteration, report) for every testcase with CCD findings *)
 }
 
+val default_batch : int
+(** Generation size used when [batch] is not given (8). *)
+
 val run :
   ?seed:int64 ->
   ?dual:bool ->
   ?max_cycles:int ->
+  ?jobs:int ->
+  ?batch:int ->
   Sonar_uarch.Config.t ->
   strategy ->
   iterations:int ->
   outcome
+(** [jobs] (default 1) sizes the worker pool candidates execute on; it
+    affects wall-clock only, never the outcome. [batch] (default
+    {!default_batch}) is the generation size and {e does} shape the
+    campaign (feedback lands at generation boundaries); keep it fixed when
+    comparing runs. *)

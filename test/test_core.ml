@@ -125,30 +125,42 @@ let dummy_tc = Testcase.random (Rng.create 10L) ~id:0 ~dual:false
 
 let test_corpus_retention () =
   let c = Corpus.create () in
-  checkb "first improves" true (Corpus.consider c dummy_tc ~intervals:[ ("p/0", 5) ]);
-  checkb "worse rejected" false (Corpus.consider c dummy_tc ~intervals:[ ("p/0", 9) ]);
-  checkb "equal rejected" false (Corpus.consider c dummy_tc ~intervals:[ ("p/0", 5) ]);
-  checkb "better accepted" true (Corpus.consider c dummy_tc ~intervals:[ ("p/0", 2) ]);
-  checkb "new point accepted" true (Corpus.consider c dummy_tc ~intervals:[ ("q/1", 50) ]);
+  checkb "first improves" true (Corpus.consider c dummy_tc ~intervals:[ (("p", 0), 5) ]);
+  checkb "worse rejected" false (Corpus.consider c dummy_tc ~intervals:[ (("p", 0), 9) ]);
+  checkb "equal rejected" false (Corpus.consider c dummy_tc ~intervals:[ (("p", 0), 5) ]);
+  checkb "better accepted" true (Corpus.consider c dummy_tc ~intervals:[ (("p", 0), 2) ]);
+  checkb "new point accepted" true (Corpus.consider c dummy_tc ~intervals:[ (("q", 1), 50) ]);
   checki "entries" 3 (Corpus.size c);
-  Alcotest.(check (option int)) "best tracked" (Some 2) (Corpus.best_interval c "p/0")
+  Alcotest.(check (option int)) "best tracked" (Some 2) (Corpus.best_interval c ("p", 0))
 
 let test_corpus_selection_prefers_small () =
   let c = Corpus.create () in
-  ignore (Corpus.consider c dummy_tc ~intervals:[ ("big/0", 500); ("small/0", 1) ]);
+  ignore (Corpus.consider c dummy_tc ~intervals:[ (("big", 0), 500); (("small", 0), 1) ]);
   let rng = Rng.create 11L in
   let picks = ref 0 in
   for _ = 1 to 50 do
     match Corpus.select c rng with
-    | Some (_, "small/0") -> incr picks
+    | Some (_, ("small", 0)) -> incr picks
     | _ -> ()
   done;
   checkb "small interval targeted mostly" true (!picks > 35)
 
 let test_corpus_zero_not_selected () =
   let c = Corpus.create () in
-  ignore (Corpus.consider c dummy_tc ~intervals:[ ("done/0", 0) ]);
+  ignore (Corpus.consider c dummy_tc ~intervals:[ (("done", 0), 0) ]);
   checkb "nothing to chase" true (Corpus.select c (Rng.create 1L) = None)
+
+let test_corpus_eviction_keeps_newest () =
+  let c = Corpus.create ~max_entries:4 () in
+  (* Strictly improving intervals so every candidate is retained. *)
+  for i = 1 to 10 do
+    let tc = { dummy_tc with Testcase.id = i } in
+    checkb "retained" true (Corpus.consider c tc ~intervals:[ (("p", 0), 100 - i) ])
+  done;
+  checki "size clamped to max_entries" 4 (Corpus.size c);
+  Alcotest.(check (list int)) "newest seeds survive, newest first"
+    [ 10; 9; 8; 7 ]
+    (List.map (fun (e : Corpus.entry) -> e.tc.Testcase.id) (Corpus.entries c))
 
 (* --- Mutation --- *)
 
@@ -275,6 +287,56 @@ let test_fuzzer_deterministic () =
   checkf "same coverage" a.Fuzzer.final_coverage b.Fuzzer.final_coverage;
   checki "same diffs" a.final_timing_diffs b.final_timing_diffs
 
+let test_fuzzer_jobs_bit_identical () =
+  (* The whole outcome — series, coverage, reports — must not depend on the
+     worker count, only on (seed, strategy, iterations, batch). *)
+  let run jobs =
+    Fuzzer.run ~seed:17L ~jobs Sonar_uarch.Config.nutshell Fuzzer.full_strategy
+      ~iterations:24
+  in
+  let sequential = run 1 and parallel = run 4 in
+  checkb "bit-identical outcome for jobs=1 vs jobs=4" true
+    (sequential = parallel)
+
+let test_executor_batch_matches_sequential () =
+  let rng = Rng.create 21L in
+  let tcs = List.init 6 (fun i -> Testcase.random rng ~id:(i + 1) ~dual:false) in
+  let cfg = Sonar_uarch.Config.nutshell in
+  let sequential = List.map (Executor.execute cfg) tcs in
+  let batched =
+    Sonar.Domain_pool.with_pool ~jobs:3 (fun pool ->
+        Executor.execute_batch ~pool cfg tcs)
+  in
+  checki "same length" (List.length sequential) (List.length batched);
+  List.iteri
+    (fun i (a, b) ->
+      checkb (Printf.sprintf "pair %d identical" i) true (a = b))
+    (List.combine sequential batched)
+
+let test_domain_pool_basics () =
+  Sonar.Domain_pool.with_pool ~jobs:2 (fun pool ->
+      let squares =
+        Sonar.Domain_pool.map_list pool (fun x -> x * x) [ 1; 2; 3; 4; 5 ]
+      in
+      Alcotest.(check (list int)) "ordered results" [ 1; 4; 9; 16; 25 ] squares;
+      (* Nested submission: a pooled task that submits and awaits subtasks
+         must not deadlock (await helps run queued work). *)
+      let nested =
+        Sonar.Domain_pool.await
+          (Sonar.Domain_pool.submit pool (fun () ->
+               List.fold_left ( + ) 0
+                 (Sonar.Domain_pool.map_list pool (fun x -> 2 * x) [ 1; 2; 3 ])))
+      in
+      checki "nested fork-join" 12 nested;
+      (* Exceptions propagate through await. *)
+      checkb "exception propagates" true
+        (match
+           Sonar.Domain_pool.await
+             (Sonar.Domain_pool.submit pool (fun () -> failwith "boom"))
+         with
+        | exception Failure m -> m = "boom"
+        | _ -> false))
+
 let test_fuzzer_series_monotonic () =
   let o =
     Fuzzer.run ~seed:18L Sonar_uarch.Config.boom Fuzzer.full_strategy ~iterations:25
@@ -390,6 +452,14 @@ let () =
           Alcotest.test_case "retention" `Quick test_corpus_retention;
           Alcotest.test_case "selection bias" `Quick test_corpus_selection_prefers_small;
           Alcotest.test_case "zero ignored" `Quick test_corpus_zero_not_selected;
+          Alcotest.test_case "eviction keeps newest" `Quick test_corpus_eviction_keeps_newest;
+        ] );
+      ( "parallel",
+        [
+          Alcotest.test_case "domain pool basics" `Quick test_domain_pool_basics;
+          Alcotest.test_case "batch matches sequential" `Quick
+            test_executor_batch_matches_sequential;
+          Alcotest.test_case "jobs bit-identical" `Quick test_fuzzer_jobs_bit_identical;
         ] );
       ( "mutation",
         [
