@@ -8,6 +8,11 @@
    `bench/main.exe fig8 table3`); no arguments runs everything. *)
 
 let full = Sys.getenv_opt "SONAR_BENCH_FULL" <> None
+
+(* SONAR_BENCH_SMOKE=1 shrinks the fixed-scale experiments (table2's
+   full-size netlist generation, simulation cycle counts) so CI can exercise
+   them end-to-end on every push without paper-scale runtimes. *)
+let smoke = Sys.getenv_opt "SONAR_BENCH_SMOKE" <> None
 let fuzz_iterations = if full then 3000 else 400
 let poc_trials = if full then 100 else 8
 let poc_bits = if full then 128 else 32
@@ -82,12 +87,16 @@ let fig7 () =
 
 let table2 () =
   section "table2" "Instrumentation overhead of Sonar (Table 2)";
+  let gen_scale = if smoke then 0.05 else 1.0 in
+  let sim_cycles = if smoke then 500 else 2000 in
+  let fuzz_iters = if smoke then 10 else 40 in
   pmap
     (fun cfg ->
       let name = cfg.Sonar_uarch.Config.name in
       (* "Compile": netlist generation + analysis (plain) vs + instrumentation. *)
       let circuit, t_gen =
-        time_it (fun () -> Sonar_dut.Netlist_gen.generate ~pad:true cfg)
+        time_it (fun () ->
+            Sonar_dut.Netlist_gen.generate ~scale:gen_scale ~pad:true cfg)
       in
       let _, t_analyze = time_it (fun () -> Sonar_ir.Analysis.summarize circuit) in
       let instr_result, t_instr =
@@ -98,41 +107,56 @@ let table2 () =
       let compile_plain = t_gen +. t_analyze in
       let compile_instr = compile_plain +. t_instr in
       (* Simulation speed: a reduced-scale instrumented netlist through the
-         RTL engine, vs the same netlist uninstrumented. *)
+         RTL engine, vs the same netlist uninstrumented; each on both the
+         compiled (slot-resolved closures) and interpreted (tree-walking
+         oracle) backends, so the instrumentation overhead is reported on
+         the fast path and the compile-stage win is visible alongside. *)
       let small = Sonar_dut.Netlist_gen.generate ~scale:0.01 ~pad:false cfg in
       let small_instr = Sonar_ir.Instrument.instrument small in
-      let sim_speed circuit =
+      let sim_speed ~backend circuit =
         let m = List.hd circuit.Sonar_ir.Circuit.modules in
-        let engine = Sonar_rtlsim.Engine.compile m in
-        let cycles = 2000 in
+        let engine = Sonar_rtlsim.Engine.compile ~backend m in
         let _, dt =
           time_it (fun () ->
-              for _ = 1 to cycles do
+              for _ = 1 to sim_cycles do
                 Sonar_rtlsim.Engine.step engine
               done)
         in
-        float_of_int cycles /. dt
+        float_of_int sim_cycles /. dt
       in
-      let hz_plain = sim_speed small in
-      let hz_instr = sim_speed small_instr.Sonar_ir.Instrument.circuit in
+      let hz_plain = sim_speed ~backend:Sonar_rtlsim.Engine.Compiled small in
+      let hz_instr =
+        sim_speed ~backend:Sonar_rtlsim.Engine.Compiled
+          small_instr.Sonar_ir.Instrument.circuit
+      in
+      let hz_plain_tree = sim_speed ~backend:Sonar_rtlsim.Engine.Tree small in
+      let hz_instr_tree =
+        sim_speed ~backend:Sonar_rtlsim.Engine.Tree
+          small_instr.Sonar_ir.Instrument.circuit
+      in
       (* Fuzzing speed: timed Sonar iterations on the timing model. *)
-      let iters = 40 in
       let _, t_fuzz =
         time_it (fun () ->
             ignore
               (Sonar.Fuzzer.run ~seed:5L cfg Sonar.Fuzzer.full_strategy
-                 ~iterations:iters))
+                 ~iterations:fuzz_iters))
       in
       Printf.sprintf
         "%-10s points %5d | compile %.2fs (+%.0f%%) | new stmts %.0fk (%.0f%%) \
-         | sim %.0fk -> %.0fk cyc/s (-%.0f%%) | fuzzing %.0f/hour"
+         | sim %.0fk -> %.0fk cyc/s (-%.0f%%) | fuzzing %.0f/hour\n\
+        \           engine backends: interpreted %.0fk -> %.0fk cyc/s | \
+         compiled %.0fk -> %.0fk cyc/s (%.1fx on instrumented)"
         name instr_result.points_instrumented compile_instr
         (100. *. (compile_instr -. compile_plain) /. compile_plain)
         (added /. 1000.)
         (100. *. added /. (base +. added))
         (hz_plain /. 1000.) (hz_instr /. 1000.)
         (100. *. (hz_plain -. hz_instr) /. hz_plain)
-        (3600. /. (t_fuzz /. float_of_int iters)))
+        (3600. /. (t_fuzz /. float_of_int fuzz_iters))
+        (hz_plain_tree /. 1000.)
+        (hz_instr_tree /. 1000.)
+        (hz_plain /. 1000.) (hz_instr /. 1000.)
+        (hz_instr /. Float.max 1. hz_instr_tree))
     [ Sonar_uarch.Config.boom; Sonar_uarch.Config.nutshell ]
   |> List.iter print_endline;
   Printf.printf
@@ -376,6 +400,32 @@ let speedup () =
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: per-experiment kernels.                   *)
 
+(* Shared OLS-over-monotonic-clock runner for the bechamel-based
+   experiments below. *)
+let run_bechamel test =
+  let open Bechamel in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) ()
+  in
+  let raw = Benchmark.all cfg instances test in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let lines = ref [] in
+  Hashtbl.iter
+    (fun name result ->
+      match Analyze.OLS.estimates result with
+      | Some [ est ] -> lines := (name, Some est) :: !lines
+      | _ -> lines := (name, None) :: !lines)
+    results;
+  List.sort (fun (a, _) (b, _) -> String.compare a b) !lines
+  |> List.iter (fun (name, est) ->
+         match est with
+         | Some est -> Printf.printf "%-44s %12.1f ns/run\n" name est
+         | None -> Printf.printf "%-44s (no estimate)\n" name)
+
 let bechamel () =
   section "bechamel" "Micro-benchmarks of the experiment kernels";
   let open Bechamel in
@@ -412,24 +462,102 @@ let bechamel () =
              Sonar.Channels.measure (Option.get (Sonar.Channels.find "S8"))));
     ]
   in
-  let benchmark test =
-    let ols =
-      Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
-    in
-    let instances = Toolkit.Instance.[ monotonic_clock ] in
-    let cfg =
-      Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) ()
-    in
-    let raw = Benchmark.all cfg instances test in
-    let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
-    Hashtbl.iter
-      (fun name result ->
-        match Analyze.OLS.estimates result with
-        | Some [ est ] -> Printf.printf "%-44s %12.1f ns/run\n" name est
-        | _ -> Printf.printf "%-44s (no estimate)\n" name)
-      results
+  run_bechamel (Test.make_grouped ~name:"sonar" tests)
+
+(* ------------------------------------------------------------------ *)
+(* Engine micro-benchmark: interpreted vs compiled stepping, the        *)
+(* zero-allocation claim, and a compiled/interpreted differential       *)
+(* check over generated DUT netlists (CI greps its verdict line).       *)
+
+let engine_bench () =
+  section "engine"
+    "RTL engine: interpreted vs compiled stepping; differential check";
+  let open Bechamel in
+  let plain =
+    Sonar_dut.Netlist_gen.generate ~scale:0.01 ~pad:false
+      Sonar_uarch.Config.boom
   in
-  benchmark (Test.make_grouped ~name:"sonar" tests)
+  let instr = (Sonar_ir.Instrument.instrument plain).Sonar_ir.Instrument.circuit in
+  let first c = List.hd c.Sonar_ir.Circuit.modules in
+  let engine_of backend c = Sonar_rtlsim.Engine.compile ~backend (first c) in
+  let tests =
+    List.map
+      (fun (name, backend, circuit) ->
+        let e = engine_of backend circuit in
+        Test.make ~name (Staged.stage (fun () -> Sonar_rtlsim.Engine.step e)))
+      [
+        ("interpreted step (plain)", Sonar_rtlsim.Engine.Tree, plain);
+        ("compiled step (plain)", Sonar_rtlsim.Engine.Compiled, plain);
+        ("interpreted step (instrumented)", Sonar_rtlsim.Engine.Tree, instr);
+        ("compiled step (instrumented)", Sonar_rtlsim.Engine.Compiled, instr);
+      ]
+  in
+  run_bechamel (Test.make_grouped ~name:"engine" tests);
+  (* Per-cycle allocation on the compiled path (the step loop is meant to
+     be allocation-free; the interpreted oracle boxes a Bitvec per node). *)
+  let alloc_per_kcycle backend =
+    let e = engine_of backend instr in
+    Sonar_rtlsim.Engine.step e;
+    let w0 = Gc.minor_words () in
+    for _ = 1 to 1000 do
+      Sonar_rtlsim.Engine.step e
+    done;
+    Gc.minor_words () -. w0
+  in
+  Printf.printf "\nminor-heap words / 1000 cycles (instrumented netlist):\n";
+  Printf.printf "  interpreted %12.0f\n"
+    (alloc_per_kcycle Sonar_rtlsim.Engine.Tree);
+  Printf.printf "  compiled    %12.0f\n%!"
+    (alloc_per_kcycle Sonar_rtlsim.Engine.Compiled);
+  (* Differential: every module of both instrumented DUT netlists, stepped
+     under a deterministic input stimulus on both backends, must expose
+     bit-identical signal values every cycle. *)
+  let cycles = 12 in
+  let mismatches = ref 0 and modules = ref 0 in
+  List.iter
+    (fun cfg ->
+      let c =
+        Sonar_dut.Netlist_gen.generate ~scale:0.02 ~pad:false cfg
+      in
+      let ic = (Sonar_ir.Instrument.instrument c).Sonar_ir.Instrument.circuit in
+      List.iter
+        (fun m ->
+          incr modules;
+          let a = Sonar_rtlsim.Engine.compile ~backend:Sonar_rtlsim.Engine.Tree m in
+          let b =
+            Sonar_rtlsim.Engine.compile ~backend:Sonar_rtlsim.Engine.Compiled m
+          in
+          let inputs = Sonar_ir.Fmodule.inputs m in
+          let names = Sonar_rtlsim.Engine.signal_names a in
+          let state = ref (Hashtbl.hash m.Sonar_ir.Fmodule.name lor 1) in
+          for _ = 1 to cycles do
+            List.iter
+              (fun (n, _) ->
+                state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+                Sonar_rtlsim.Engine.poke_int a n !state;
+                Sonar_rtlsim.Engine.poke_int b n !state)
+              inputs;
+            Sonar_rtlsim.Engine.step a;
+            Sonar_rtlsim.Engine.step b;
+            List.iter
+              (fun n ->
+                if
+                  not
+                    (Sonar_rtlsim.Bitvec.equal
+                       (Sonar_rtlsim.Engine.peek a n)
+                       (Sonar_rtlsim.Engine.peek b n))
+                then incr mismatches)
+              names
+          done)
+        ic.Sonar_ir.Circuit.modules)
+    [ Sonar_uarch.Config.boom; Sonar_uarch.Config.nutshell ];
+  if !mismatches = 0 then
+    Printf.printf
+      "\nengine differential: ok (%d modules, %d cycles each, both DUTs)\n"
+      !modules cycles
+  else
+    Printf.printf "\nengine differential: MISMATCH (%d signal deviations)\n"
+      !mismatches
 
 (* ------------------------------------------------------------------ *)
 
@@ -448,6 +576,7 @@ let experiments =
     ("mitigation", mitigation);
     ("speedup", speedup);
     ("bechamel", bechamel);
+    ("engine", engine_bench);
   ]
 
 let () =

@@ -36,47 +36,73 @@ let execute_batch ?max_cycles ?pool cfg tcs =
           { run0 = Domain_pool.await f0; run1 = Domain_pool.await f1 })
         futures
 
-let min_opt a b =
-  match (a, b) with
-  | Some x, Some y -> Some (min x y)
-  | (Some _ as s), None | None, (Some _ as s) -> s
-  | None, None -> None
+(* Monomorphic comparators for the sorted outputs below. The orderings are
+   identical to polymorphic [compare] on the same tuples (byte-lexicographic
+   strings, constructor order for [Cpoint.kind]), but dispatch directly
+   instead of walking the structure generically; table keys are unique, so
+   comparing the keys alone is a total order on the entries. *)
+let compare_interval ((na, pa), _) ((nb, pb), _) =
+  match String.compare na nb with 0 -> Int.compare pa pb | c -> c
+
+let kind_rank = function Cpoint.Volatile -> 0 | Cpoint.Persistent -> 1
+
+let compare_triggered ((na, ka, sa), _) ((nb, kb, sb), _) =
+  match String.compare na nb with
+  | 0 -> (
+      match Int.compare (kind_rank ka) (kind_rank kb) with
+      | 0 -> Int.compare sa sb
+      | c -> c)
+  | c -> c
 
 let min_intervals pair =
   (* Keyed per (point, source pair); tuple keys avoid allocating a
-     formatted string per interval per run on the fuzzer's hot path. *)
-  let table = Hashtbl.create 64 in
+     formatted string per interval per run on the fuzzer's hot path. The
+     table is pre-sized to the interval count so absorption never rehashes. *)
+  let size (r : Machine.result) =
+    List.fold_left
+      (fun a (ps : Machine.point_stat) -> a + List.length ps.ps_pair_intervals)
+      0 r.point_stats
+  in
+  let table = Hashtbl.create (max 16 (size pair.run0 + size pair.run1)) in
   let absorb (r : Machine.result) =
     List.iter
       (fun (ps : Machine.point_stat) ->
+        let name = ps.ps_name in
         List.iter
           (fun (pair_id, v) ->
-            let key = (ps.ps_name, pair_id) in
-            match min_opt (Hashtbl.find_opt table key) (Some v) with
-            | Some v -> Hashtbl.replace table key v
-            | None -> ())
+            let key = (name, pair_id) in
+            match Hashtbl.find_opt table key with
+            | Some m when m <= v -> ()
+            | Some _ | None -> Hashtbl.replace table key v)
           ps.ps_pair_intervals)
       r.point_stats
   in
   absorb pair.run0;
   absorb pair.run1;
-  Hashtbl.fold (fun name v acc -> (name, v) :: acc) table [] |> List.sort compare
+  Hashtbl.fold (fun name v acc -> (name, v) :: acc) table []
+  |> List.sort compare_interval
 
 let triggered pair =
-  let table = Hashtbl.create 64 in
+  let size (r : Machine.result) =
+    List.fold_left
+      (fun a (ps : Machine.point_stat) -> a + List.length ps.ps_triggered)
+      0 r.point_stats
+  in
+  let table = Hashtbl.create (max 16 (size pair.run0 + size pair.run1)) in
   let absorb (r : Machine.result) =
     List.iter
       (fun (ps : Machine.point_stat) ->
+        let name = ps.ps_name in
         let w = float_of_int ps.ps_fanout /. float_of_int ps.ps_max_subs in
         List.iter
-          (fun (kind, sub) ->
-            Hashtbl.replace table (ps.ps_name, kind, sub) w)
+          (fun (kind, sub) -> Hashtbl.replace table (name, kind, sub) w)
           ps.ps_triggered)
       r.point_stats
   in
   absorb pair.run0;
   absorb pair.run1;
-  Hashtbl.fold (fun k w acc -> (k, w) :: acc) table [] |> List.sort compare
+  Hashtbl.fold (fun k w acc -> (k, w) :: acc) table []
+  |> List.sort compare_triggered
 
 let single_valid_share pair =
   let single = Hashtbl.create 32 in

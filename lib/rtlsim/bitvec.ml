@@ -50,6 +50,8 @@ let cat hi lo =
   make ~width:w (Int64.logor (Int64.shift_left hi.value lo.width) lo.value)
 
 let pad w a = make ~width:w a.value
-let mux sel tval fval = if is_true sel then tval else fval
+let mux sel tval fval =
+  let w = max tval.width fval.width in
+  pad w (if is_true sel then tval else fval)
 let equal a b = Int64.equal a.value b.value && a.width = b.width
 let pp fmt t = Format.fprintf fmt "%Ld:%d" t.value t.width

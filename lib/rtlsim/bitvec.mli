@@ -49,7 +49,10 @@ val pad : int -> t -> t
 (** Zero-extend (or re-mask, if narrower) to the given width. *)
 
 val mux : t -> t -> t -> t
-(** [mux sel tval fval]. *)
+(** [mux sel tval fval]. The result is padded to the wider branch's width
+    (as in FIRRTL), so a mux's width does not depend on the selected
+    branch — the invariant that lets {!Engine} resolve every intermediate
+    width statically when compiling to closures. *)
 
 val equal : t -> t -> bool
 val pp : Format.formatter -> t -> unit

@@ -2,34 +2,98 @@ open Sonar_ir
 
 exception Unknown_signal of string
 
-type signal = {
-  name : string;
-  width : int;
-  mutable value : Bitvec.t;
-  is_input : bool;
-}
+type backend = Tree | Compiled
+
+(* Slot-resolved engine core.
+
+   Every signal is resolved to an integer slot at compile time; the value
+   store is a flat native-[int] array. Widths are limited to 63 bits
+   (Bitvec's invariant), which is exactly the width of OCaml's native
+   immediate integer — so a stored value is the untagged 63-bit pattern of
+   the signal, and reading or writing a slot never allocates. (An
+   [int64 array] store would be unboxed in memory but every read would box
+   its result without flambda, putting an allocation on the per-cycle hot
+   path; the native-int store is what makes [step] allocation-free.)
+
+   Two backends share the store:
+
+   - [Tree]: the original tree-walking interpreter over [Expr.t], boxing a
+     [Bitvec.t] per intermediate value. Kept as the reference oracle for
+     differential testing and as the "uncompiled" baseline the bench
+     compares against.
+   - [Compiled]: each levelized expression is lowered once to an
+     index-resolved closure [unit -> int] over the store, with widths and
+     masks resolved statically. [step] then runs two flat closure sweeps
+     plus a register latch through a preallocated scratch array — no
+     hashtable lookups, no [Bitvec] boxing, no per-cycle allocation. *)
 
 type t = {
-  signals : (string, signal) Hashtbl.t;
-  order : (signal * Expr.t) array;  (** combinational, in evaluation order *)
-  regs : (signal * Expr.t option * int64) array;  (** reg, drive, reset *)
-  names : string list;
+  store : int array;  (** slot -> current value (63-bit pattern, masked) *)
+  widths : int array;  (** slot -> width *)
+  names : string array;  (** slot -> name, declaration order *)
+  slots : (string, int) Hashtbl.t;
+  is_input : bool array;
+  comb_slots : int array;  (** combinational signals, levelized order *)
+  comb_exprs : Expr.t array;
+  comb_fns : (unit -> int) array;  (** [Compiled] only; value pre-masked *)
+  reg_slots : int array;
+  reg_drives : Expr.t option array;
+  reg_fns : (unit -> int) array;  (** [Compiled] only; next value *)
+  reg_resets : int array;
+  scratch : int array;  (** next-register buffer, reused every [step] *)
+  backend : backend;
   mutable cycles : int;
 }
 
-let find t name =
-  match Hashtbl.find_opt t.signals name with
+let backend t = t.backend
+
+(* --- slot API --- *)
+
+let num_slots t = Array.length t.store
+
+let slot t name =
+  match Hashtbl.find_opt t.slots name with
   | Some s -> s
   | None -> raise (Unknown_signal name)
 
-(* Expression width inference, mirroring Bitvec's result widths. *)
-let rec infer_width t expr =
+let slot_name t s = t.names.(s)
+let slot_width t s = t.widths.(s)
+let read_slot t s = t.store.(s)
+
+let read_slot64 t s =
+  (* Stored values are masked to <= 63 bits, so clearing the sign-extension
+     bit of [of_int] recovers the unsigned value. *)
+  Int64.logand (Int64.of_int t.store.(s)) 0x7FFF_FFFF_FFFF_FFFFL
+
+(* --- native-int bit operations (mirroring Bitvec) --- *)
+
+let native_mask w = if w >= 63 then -1 else (1 lsl w) - 1
+let mask64 w = Int64.sub (Int64.shift_left 1L w) 1L
+
+(* Validate a width the way [Bitvec.make] does, so compile-time width errors
+   raise the same exception the interpreter would. *)
+let check_width w =
+  ignore (Bitvec.make ~width:w 0L);
+  w
+
+let to_native (v : Bitvec.t) = Int64.to_int (Bitvec.value v)
+
+let of_native t s = Bitvec.make ~width:t.widths.(s) (Int64.of_int t.store.(s))
+
+(* --- width inference, mirroring Bitvec's result widths --- *)
+
+let rec infer_width_of lookup expr =
   match expr with
-  | Expr.Ref name -> (find t name).width
+  | Expr.Ref name -> lookup name
   | Expr.Lit { width; _ } -> width
-  | Expr.Mux { tval; fval; _ } -> max (infer_width t tval) (infer_width t fval)
+  | Expr.Mux { tval; fval; _ } ->
+      max (infer_width_of lookup tval) (infer_width_of lookup fval)
   | Expr.Prim { op; args } -> (
-      let arg n = infer_width t (List.nth args n) in
+      let arg n =
+        match List.nth_opt args n with
+        | Some e -> infer_width_of lookup e
+        | None -> invalid_arg "Engine.infer_width: arity mismatch"
+      in
       match op with
       | Expr.Eq | Expr.Neq | Expr.Lt | Expr.Leq | Expr.Gt | Expr.Geq -> 1
       | Expr.Not -> arg 0
@@ -40,12 +104,20 @@ let rec infer_width t expr =
       | Expr.Cat -> min 63 (arg 0 + arg 1)
       | Expr.Add | Expr.Sub | Expr.And | Expr.Or | Expr.Xor -> max (arg 0) (arg 1))
 
+(* --- tree-walking interpreter (the reference oracle) --- *)
+
 let rec eval t expr =
   match expr with
-  | Expr.Ref name -> (find t name).value
+  | Expr.Ref name -> of_native t (slot t name)
   | Expr.Lit { value; width } -> Bitvec.make ~width value
   | Expr.Mux { sel; tval; fval } ->
-      if Bitvec.is_true (eval t sel) then eval t tval else eval t fval
+      (* Both branches are padded to the mux's result width (the wider of
+         the two), as in FIRRTL; this keeps intermediate widths static, so
+         the compiled path can resolve every mask at compile time. *)
+      let tv = eval t tval in
+      let fv = eval t fval in
+      let w = max (Bitvec.width tv) (Bitvec.width fv) in
+      Bitvec.pad w (if Bitvec.is_true (eval t sel) then tv else fv)
   | Expr.Prim { op; args } -> (
       match (op, args) with
       | Expr.Not, [ a ] -> Bitvec.lognot (eval t a)
@@ -64,24 +136,204 @@ let rec eval t expr =
       | Expr.Leq, [ a; b ] -> Bitvec.leq (eval t a) (eval t b)
       | Expr.Gt, [ a; b ] -> Bitvec.gt (eval t a) (eval t b)
       | Expr.Geq, [ a; b ] -> Bitvec.geq (eval t a) (eval t b)
+      | Expr.Cat, [ a; b ] -> Bitvec.cat (eval t a) (eval t b)
       | _ -> invalid_arg "Engine.eval: arity mismatch")
 
-let compile (m : Fmodule.t) =
-  let t =
-    {
-      signals = Hashtbl.create 128;
-      order = [||];
-      regs = [||];
-      names = [];
-      cycles = 0;
-    }
-  in
-  let names = ref [] in
+(* --- closure compilation --- *)
+
+(* Lower an expression to a closure over the store. Returns the closure and
+   the expression's static width; the closure's result is always masked to
+   that width, mirroring Bitvec's result-width rules bit for bit. Width
+   errors (invalid slices, cat overflow) surface at compile time with the
+   same [Bitvec.Width_error] the interpreter raises at eval time. *)
+let rec compile_expr t expr : (unit -> int) * int =
+  let go e = compile_expr t e in
+  match expr with
+  | Expr.Ref name ->
+      let s = slot t name in
+      let st = t.store in
+      ((fun () -> Array.unsafe_get st s), t.widths.(s))
+  | Expr.Lit { value; width } ->
+      let w = check_width width in
+      let v = Int64.to_int (Int64.logand value (mask64 w)) in
+      ((fun () -> v), w)
+  | Expr.Mux { sel; tval; fval } ->
+      let fs, _ = go sel in
+      let ft, wt = go tval in
+      let ff, wf = go fval in
+      (* Branch values are masked to their own width <= max wt wf, so the
+         pad to the result width is a no-op on the value. *)
+      ((fun () -> if fs () <> 0 then ft () else ff ()), max wt wf)
+  | Expr.Prim { op; args } -> (
+      match (op, args) with
+      | Expr.Not, [ a ] ->
+          let fa, wa = go a in
+          let m = native_mask wa in
+          ((fun () -> lnot (fa ()) land m), wa)
+      | Expr.Shl n, [ a ] ->
+          let fa, wa = go a in
+          let w = min 63 (wa + n) in
+          let m = native_mask w in
+          if n >= 63 then ((fun () -> 0), w)
+          else ((fun () -> (fa () lsl n) land m), w)
+      | Expr.Shr n, [ a ] ->
+          let fa, wa = go a in
+          let w = max 1 (wa - n) in
+          let m = native_mask w in
+          if n >= 63 then ((fun () -> 0), w)
+          else ((fun () -> (fa () lsr n) land m), w)
+      | Expr.Bits (hi, lo), [ a ] ->
+          if hi < lo || lo < 0 then
+            raise
+              (Bitvec.Width_error (Printf.sprintf "invalid slice [%d:%d]" hi lo));
+          let fa, _ = go a in
+          let w = check_width (hi - lo + 1) in
+          let m = native_mask w in
+          if lo >= 63 then ((fun () -> 0), w)
+          else ((fun () -> (fa () lsr lo) land m), w)
+      | Expr.Pad n, [ a ] ->
+          let fa, _ = go a in
+          let w = check_width n in
+          let m = native_mask w in
+          ((fun () -> fa () land m), w)
+      | Expr.Cat, [ a; b ] ->
+          let fa, wa = go a in
+          let fb, wb = go b in
+          if wa + wb > 63 then
+            raise (Bitvec.Width_error "cat result exceeds 63 bits");
+          ((fun () -> (fa () lsl wb) lor fb ()), wa + wb)
+      | Expr.Add, [ a; b ] ->
+          let fa, wa = go a in
+          let fb, wb = go b in
+          let m = native_mask (max wa wb) in
+          ((fun () -> (fa () + fb ()) land m), max wa wb)
+      | Expr.Sub, [ a; b ] ->
+          let fa, wa = go a in
+          let fb, wb = go b in
+          let m = native_mask (max wa wb) in
+          ((fun () -> (fa () - fb ()) land m), max wa wb)
+      | Expr.And, [ a; b ] ->
+          let fa, wa = go a in
+          let fb, wb = go b in
+          ((fun () -> fa () land fb ()), max wa wb)
+      | Expr.Or, [ a; b ] ->
+          let fa, wa = go a in
+          let fb, wb = go b in
+          ((fun () -> fa () lor fb ()), max wa wb)
+      | Expr.Xor, [ a; b ] ->
+          let fa, wa = go a in
+          let fb, wb = go b in
+          ((fun () -> fa () lxor fb ()), max wa wb)
+      | Expr.Eq, [ a; b ] ->
+          let fa, _ = go a in
+          let fb, _ = go b in
+          ((fun () -> if fa () = fb () then 1 else 0), 1)
+      | Expr.Neq, [ a; b ] ->
+          let fa, _ = go a in
+          let fb, _ = go b in
+          ((fun () -> if fa () <> fb () then 1 else 0), 1)
+      | Expr.Lt, [ a; b ] ->
+          let fa, _ = go a in
+          let fb, _ = go b in
+          (* Unsigned comparison of 63-bit patterns: flipping the native
+             sign bit turns signed [<] into unsigned [<]. *)
+          ((fun () -> if fa () lxor min_int < fb () lxor min_int then 1 else 0), 1)
+      | Expr.Leq, [ a; b ] ->
+          let fa, _ = go a in
+          let fb, _ = go b in
+          ((fun () -> if fa () lxor min_int <= fb () lxor min_int then 1 else 0), 1)
+      | Expr.Gt, [ a; b ] ->
+          let fa, _ = go a in
+          let fb, _ = go b in
+          ((fun () -> if fa () lxor min_int > fb () lxor min_int then 1 else 0), 1)
+      | Expr.Geq, [ a; b ] ->
+          let fa, _ = go a in
+          let fb, _ = go b in
+          ((fun () -> if fa () lxor min_int >= fb () lxor min_int then 1 else 0), 1)
+      | _ -> invalid_arg "Engine.compile: arity mismatch")
+
+(* Combinational assignment: the expression value re-masked to the signal's
+   declared width (outputs may be narrower than their drive). *)
+let compile_assign t ~width expr =
+  let f, w = compile_expr t expr in
+  if w <= width then f
+  else
+    let m = native_mask width in
+    fun () -> f () land m
+
+(* --- settle / step --- *)
+
+let settle_tree t =
+  let n = Array.length t.comb_slots in
+  for i = 0 to n - 1 do
+    let s = Array.unsafe_get t.comb_slots i in
+    let v = eval t (Array.unsafe_get t.comb_exprs i) in
+    Array.unsafe_set t.store s (to_native (Bitvec.pad t.widths.(s) v))
+  done
+
+let settle_compiled t =
+  let fns = t.comb_fns and slots = t.comb_slots and st = t.store in
+  for i = 0 to Array.length fns - 1 do
+    Array.unsafe_set st (Array.unsafe_get slots i) ((Array.unsafe_get fns i) ())
+  done
+
+let settle t =
+  match t.backend with Tree -> settle_tree t | Compiled -> settle_compiled t
+
+let step_tree t =
+  settle_tree t;
+  let n = Array.length t.reg_slots in
+  for i = 0 to n - 1 do
+    let s = t.reg_slots.(i) in
+    t.scratch.(i) <-
+      (match t.reg_drives.(i) with
+      | Some expr -> to_native (Bitvec.pad t.widths.(s) (eval t expr))
+      | None -> t.store.(s))
+  done;
+  for i = 0 to n - 1 do
+    t.store.(t.reg_slots.(i)) <- t.scratch.(i)
+  done;
+  settle_tree t
+
+let step_compiled t =
+  settle_compiled t;
+  let fns = t.reg_fns and slots = t.reg_slots in
+  let scratch = t.scratch and st = t.store in
+  let n = Array.length slots in
+  for i = 0 to n - 1 do
+    Array.unsafe_set scratch i ((Array.unsafe_get fns i) ())
+  done;
+  for i = 0 to n - 1 do
+    Array.unsafe_set st (Array.unsafe_get slots i) (Array.unsafe_get scratch i)
+  done;
+  settle_compiled t
+
+let step t =
+  (match t.backend with Tree -> step_tree t | Compiled -> step_compiled t);
+  t.cycles <- t.cycles + 1
+
+(* --- compilation --- *)
+
+let compile ?(backend = Compiled) (m : Fmodule.t) =
+  let slots = Hashtbl.create 128 in
+  let decls = Hashtbl.create 128 in
+  List.iter
+    (fun s ->
+      match Stmt.declared_name s with
+      | Some n -> if not (Hashtbl.mem decls n) then Hashtbl.replace decls n s
+      | None -> ())
+    m.Fmodule.stmts;
+  let rev_names = ref [] in
+  let n_slots = ref 0 in
+  let widths_tbl = Hashtbl.create 128 in
+  let inputs_tbl = Hashtbl.create 16 in
   let declare name width is_input =
-    if not (Hashtbl.mem t.signals name) then begin
-      Hashtbl.replace t.signals name
-        { name; width; value = Bitvec.zero width; is_input };
-      names := name :: !names
+    if not (Hashtbl.mem slots name) then begin
+      Hashtbl.replace slots name !n_slots;
+      Hashtbl.replace widths_tbl name width;
+      if is_input then Hashtbl.replace inputs_tbl name ();
+      rev_names := name :: !rev_names;
+      incr n_slots
     end
   in
   (* First declare everything with an explicit width. *)
@@ -99,79 +351,111 @@ let compile (m : Fmodule.t) =
      refining in evaluation order. *)
   let defs = Fmodule.definitions m in
   let order_names = Levelize.order m in
-  List.iter
-    (fun name -> if not (Hashtbl.mem t.signals name) then declare name 63 false)
-    order_names;
+  List.iter (fun name -> declare name 63 false) order_names;
   List.iter
     (fun name ->
-      let expr = Hashtbl.find defs name in
-      match Fmodule.find_decl m name with
+      match Hashtbl.find_opt decls name with
       | Some (Stmt.Node _) | None ->
-          let s = Hashtbl.find t.signals name in
-          let w = infer_width t expr in
-          s.value <- Bitvec.zero w;
-          Hashtbl.replace t.signals name { s with width = w; value = Bitvec.zero w }
+          let w =
+            infer_width_of
+              (fun n -> Hashtbl.find widths_tbl n)
+              (Hashtbl.find defs name)
+          in
+          Hashtbl.replace widths_tbl name w
       | Some _ -> ())
     order_names;
-  let order =
-    Array.of_list
-      (List.map (fun name -> (Hashtbl.find t.signals name, Hashtbl.find defs name)) order_names)
+  let names = Array.of_list (List.rev !rev_names) in
+  let widths = Array.map (fun n -> Hashtbl.find widths_tbl n) names in
+  let is_input = Array.map (fun n -> Hashtbl.mem inputs_tbl n) names in
+  let comb_slots =
+    Array.of_list (List.map (fun n -> Hashtbl.find slots n) order_names)
+  in
+  let comb_exprs =
+    Array.of_list (List.map (fun n -> Hashtbl.find defs n) order_names)
   in
   let reg_table = Fmodule.registers m in
-  let regs =
-    m.Fmodule.stmts
-    |> List.filter_map (function
-         | Stmt.Reg { name; reset; _ } ->
-             let drive = Option.join (Hashtbl.find_opt reg_table name) in
-             let reset = Option.value ~default:0L reset in
-             Some (Hashtbl.find t.signals name, drive, reset)
-         | _ -> None)
-    |> Array.of_list
+  let reg_list =
+    List.filter_map
+      (function
+        | Stmt.Reg { name; reset; _ } ->
+            let drive = Option.join (Hashtbl.find_opt reg_table name) in
+            let reset = Option.value ~default:0L reset in
+            Some (Hashtbl.find slots name, drive, reset)
+        | _ -> None)
+      m.Fmodule.stmts
   in
-  let t = { t with order; regs; names = List.rev !names } in
+  let reg_slots = Array.of_list (List.map (fun (s, _, _) -> s) reg_list) in
+  let reg_drives = Array.of_list (List.map (fun (_, d, _) -> d) reg_list) in
+  let reg_resets =
+    Array.of_list
+      (List.map
+         (fun (s, _, r) -> Int64.to_int (Int64.logand r (mask64 widths.(s))))
+         reg_list)
+  in
+  let t =
+    {
+      store = Array.make (Array.length names) 0;
+      widths;
+      names;
+      slots;
+      is_input;
+      comb_slots;
+      comb_exprs;
+      comb_fns = [||];
+      reg_slots;
+      reg_drives;
+      reg_fns = [||];
+      reg_resets;
+      scratch = Array.make (Array.length reg_slots) 0;
+      backend;
+      cycles = 0;
+    }
+  in
+  let t =
+    match backend with
+    | Tree -> t
+    | Compiled ->
+        let comb_fns =
+          Array.map2
+            (fun s expr -> compile_assign t ~width:widths.(s) expr)
+            comb_slots comb_exprs
+        in
+        let reg_fns =
+          Array.map2
+            (fun s drive ->
+              match drive with
+              | Some expr -> compile_assign t ~width:widths.(s) expr
+              | None ->
+                  let st = t.store in
+                  fun () -> Array.unsafe_get st s)
+            reg_slots reg_drives
+        in
+        { t with comb_fns; reg_fns }
+  in
   (* Initialise registers to reset values and settle once. *)
-  Array.iter
-    (fun ((s : signal), _, reset) -> s.value <- Bitvec.make ~width:s.width reset)
-    t.regs;
-  Array.iter (fun ((s : signal), expr) -> s.value <- Bitvec.pad s.width (eval t expr)) t.order;
+  Array.iteri (fun i s -> t.store.(s) <- t.reg_resets.(i)) t.reg_slots;
+  settle t;
   t
 
-let settle t =
-  Array.iter (fun ((s : signal), expr) -> s.value <- Bitvec.pad s.width (eval t expr)) t.order
-
-let step t =
-  settle t;
-  let next =
-    Array.map
-      (fun ((s : signal), drive, _) ->
-        match drive with
-        | Some expr -> Bitvec.pad s.width (eval t expr)
-        | None -> s.value)
-      t.regs
-  in
-  Array.iteri (fun i ((s : signal), _, _) -> s.value <- next.(i)) t.regs;
-  settle t;
-  t.cycles <- t.cycles + 1
+(* --- peek / poke / reset --- *)
 
 let poke t name v =
-  let s = find t name in
-  if not s.is_input then raise (Unknown_signal (name ^ " is not an input"));
-  s.value <- Bitvec.pad s.width v
+  let s = slot t name in
+  if not t.is_input.(s) then raise (Unknown_signal (name ^ " is not an input"));
+  t.store.(s) <- to_native (Bitvec.pad t.widths.(s) v)
 
-let poke_int t name v = poke t name (Bitvec.make ~width:(find t name).width (Int64.of_int v))
-let peek t name = (find t name).value
-let peek_int t name = Bitvec.to_int (peek t name)
+let poke_int t name v =
+  poke t name (Bitvec.make ~width:t.widths.(slot t name) (Int64.of_int v))
+
+let peek t name = of_native t (slot t name)
+let peek_int t name = t.store.(slot t name)
 let cycle t = t.cycles
 
 let reset t =
-  Array.iter
-    (fun ((s : signal), _, reset) -> s.value <- Bitvec.make ~width:s.width reset)
-    t.regs;
-  Hashtbl.iter
-    (fun _ s -> if s.is_input then s.value <- Bitvec.zero s.width)
-    t.signals;
+  Array.iteri (fun i s -> t.store.(s) <- t.reg_resets.(i)) t.reg_slots;
+  Array.iteri (fun s inp -> if inp then t.store.(s) <- 0) t.is_input;
   settle t;
   t.cycles <- 0
 
-let signal_names t = t.names
-let signal_width t name = (find t name).width
+let signal_names t = Array.to_list t.names
+let signal_width t name = t.widths.(slot t name)

@@ -8,13 +8,14 @@ type point_state = {
 
 type tracked = {
   state : point_state;
-  valid_outputs : string array;
-  mutable last_valid : int array;  (** -1 = never *)
+  valid_slots : int array;  (** engine slots of the valid outputs *)
+  fired : bool array;  (** per-sample scratch, reused *)
+  last_valid : int array;  (** -1 = never *)
 }
 
 type t = {
   engine : Engine.t;
-  tracked : tracked list;
+  tracked : tracked array;
   mutable window : (int * int) option;
 }
 
@@ -22,7 +23,11 @@ let create engine monitors =
   let tracked =
     List.map
       (fun (pm : Sonar_ir.Instrument.point_monitor) ->
-        let valid_outputs = Array.of_list pm.valid_outputs in
+        (* Resolve output names to slots once; sampling then reads the
+           engine's store directly. *)
+        let valid_slots =
+          Array.of_list (List.map (Engine.slot engine) pm.valid_outputs)
+        in
         {
           state =
             {
@@ -32,10 +37,12 @@ let create engine monitors =
               triggered = false;
               request_hits = 0;
             };
-          valid_outputs;
-          last_valid = Array.make (Array.length valid_outputs) (-1);
+          valid_slots;
+          fired = Array.make (Array.length valid_slots) false;
+          last_valid = Array.make (Array.length valid_slots) (-1);
         })
       monitors
+    |> Array.of_list
   in
   { engine; tracked; window = None }
 
@@ -52,10 +59,13 @@ let sample t =
     | None -> true
     | Some (start, stop) -> cycle >= start && cycle <= stop
   in
-  List.iter
+  Array.iter
     (fun tr ->
-      let n = Array.length tr.valid_outputs in
-      let fired = Array.map (fun out -> Engine.peek_int t.engine out <> 0) tr.valid_outputs in
+      let n = Array.length tr.valid_slots in
+      let fired = tr.fired in
+      for i = 0 to n - 1 do
+        fired.(i) <- Engine.read_slot t.engine tr.valid_slots.(i) <> 0
+      done;
       if in_window then begin
         for i = 0 to n - 1 do
           if fired.(i) then begin
@@ -87,7 +97,7 @@ let sample t =
       done)
     t.tracked
 
-let states t = List.map (fun tr -> tr.state) t.tracked
+let states t = Array.to_list (Array.map (fun tr -> tr.state) t.tracked)
 
 let find t id =
   List.find_opt (fun (s : point_state) -> String.equal s.point_id id) (states t)

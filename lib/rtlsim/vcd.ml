@@ -1,8 +1,15 @@
+type entry = {
+  code : string;  (** VCD identifier code *)
+  slot : int;
+  width : int;
+  mutable prev : int;  (** last dumped raw value *)
+  mutable has_prev : bool;
+}
+
 type t = {
   engine : Engine.t;
   buf : Buffer.t;
-  signals : (string * string) list;  (** name, VCD identifier code *)
-  previous : (string, int64) Hashtbl.t;
+  entries : entry array;
   mutable timestamp : int;
 }
 
@@ -17,17 +24,24 @@ let id_code i =
 
 let create ?signals engine =
   let names = Option.value ~default:(Engine.signal_names engine) signals in
-  let signals = List.mapi (fun i n -> (n, id_code i)) names in
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "$timescale 1ns $end\n$scope module dut $end\n";
-  List.iter
-    (fun (name, code) ->
-      Buffer.add_string buf
-        (Printf.sprintf "$var wire %d %s %s $end\n" (Engine.signal_width engine name)
-           code name))
-    signals;
+  let entries =
+    List.mapi
+      (fun i name ->
+        (* Resolve each signal to its engine slot once; dumping reads slots
+           directly instead of hashing names every timestep. *)
+        let slot = Engine.slot engine name in
+        let code = id_code i in
+        let width = Engine.slot_width engine slot in
+        Buffer.add_string buf
+          (Printf.sprintf "$var wire %d %s %s $end\n" width code name);
+        { code; slot; width; prev = 0; has_prev = false })
+      names
+    |> Array.of_list
+  in
   Buffer.add_string buf "$upscope $end\n$enddefinitions $end\n";
-  { engine; buf; signals; previous = Hashtbl.create 64; timestamp = 0 }
+  { engine; buf; entries; timestamp = 0 }
 
 let binary_of_value v width =
   let b = Bytes.make width '0' in
@@ -39,25 +53,20 @@ let binary_of_value v width =
 
 let dump t =
   Buffer.add_string t.buf (Printf.sprintf "#%d\n" t.timestamp);
-  List.iter
-    (fun (name, code) ->
-      let bv = Engine.peek t.engine name in
-      let v = Bitvec.value bv in
-      let changed =
-        match Hashtbl.find_opt t.previous name with
-        | Some prev -> not (Int64.equal prev v)
-        | None -> true
-      in
-      if changed then begin
-        Hashtbl.replace t.previous name v;
-        let width = Bitvec.width bv in
-        if width = 1 then
-          Buffer.add_string t.buf (Printf.sprintf "%Ld%s\n" v code)
+  Array.iter
+    (fun e ->
+      let v = Engine.read_slot t.engine e.slot in
+      if (not e.has_prev) || e.prev <> v then begin
+        e.prev <- v;
+        e.has_prev <- true;
+        let v64 = Engine.read_slot64 t.engine e.slot in
+        if e.width = 1 then
+          Buffer.add_string t.buf (Printf.sprintf "%Ld%s\n" v64 e.code)
         else
           Buffer.add_string t.buf
-            (Printf.sprintf "b%s %s\n" (binary_of_value v width) code)
+            (Printf.sprintf "b%s %s\n" (binary_of_value v64 e.width) e.code)
       end)
-    t.signals;
+    t.entries;
   t.timestamp <- t.timestamp + 1
 
 let contents t = Buffer.contents t.buf

@@ -11,6 +11,7 @@ type t = {
   hits : int array;
   mutable min_pair : int option;
   mutable min_self : int option;
+  mutable active_sources : int;  (* sources with hits > 0, kept incrementally *)
   mutable single_valid_dominated : bool;
   triggered : (kind * int, unit) Hashtbl.t;
   pair_min : (int, int) Hashtbl.t;  (* per risky source pair: min interval *)
@@ -69,6 +70,7 @@ let point reg ~name ~component ~sources ?(persistent_subs = 0)
           hits = Array.make n 0;
           min_pair = None;
           min_self = None;
+          active_sources = 0;
           single_valid_dominated = true;
           triggered = Hashtbl.create 8;
           pair_min = Hashtbl.create 8;
@@ -96,15 +98,15 @@ let request reg p ~tainted ~source ~data =
   if source < 0 || source >= n then invalid_arg "Cpoint.request: bad source";
   let cycle = reg.cycle in
   if reg.open_ then begin
+    if p.hits.(source) = 0 then p.active_sources <- p.active_sources + 1;
     p.hits.(source) <- p.hits.(source) + 1;
     p.event_count <- p.event_count + 1;
     p.digest <- mix (mix p.digest (source + (cycle land 0xFF))) (Int64.to_int data land 0xFFFF);
-    (* Single-valid dominance: demoted once a second source shows activity. *)
-    if p.single_valid_dominated then begin
-      let active = ref 0 in
-      Array.iter (fun h -> if h > 0 then incr active) p.hits;
-      if !active > 1 then p.single_valid_dominated <- false
-    end;
+    (* Single-valid dominance: demoted once a second source shows activity.
+       [active_sources] is maintained incrementally above, so this is O(1)
+       per request instead of an O(sources) rescan. *)
+    if p.single_valid_dominated && p.active_sources > 1 then
+      p.single_valid_dominated <- false;
     (* A lone-source point triggers on its first risky in-window request:
        its valid signal is the request itself and is trivially asserted. *)
     if n = 1 && tainted then

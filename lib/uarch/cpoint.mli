@@ -38,6 +38,9 @@ type t = private {
   hits : int array;  (** in-window valid requests per source *)
   mutable min_pair : int option;
   mutable min_self : int option;
+  mutable active_sources : int;
+      (** sources with at least one in-window request, maintained
+          incrementally (avoids an O(sources) rescan per request) *)
   mutable single_valid_dominated : bool;
       (** every in-window event so far came from one source (Figure 9) *)
   triggered : (kind * int, unit) Hashtbl.t;

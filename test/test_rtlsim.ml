@@ -148,6 +148,55 @@ module Loop [other] :
     | exception Levelize.Combinational_cycle _ -> true
     | _ -> false)
 
+let test_engine_tree_backend () =
+  let e = Engine.compile ~backend:Engine.Tree counter_module in
+  checkb "tree backend" true (Engine.backend e = Engine.Tree);
+  Engine.poke_int e "en" 1;
+  for _ = 1 to 5 do
+    Engine.step e
+  done;
+  checki "interpreter counts to 5" 5 (Engine.peek_int e "out")
+
+(* Regression: [cat] was handled by width inference but missing from the
+   evaluator, so any netlist using concatenation raised at the first settle. *)
+let cat_module =
+  Sonar_ir.Parser.parse_module
+    {|
+module C [other] :
+  input a : UInt<4>
+  input b : UInt<4>
+  output o : UInt<8>
+  node j = cat(a, b)
+  connect o = j
+|}
+
+let test_engine_cat () =
+  List.iter
+    (fun backend ->
+      let e = Engine.compile ~backend cat_module in
+      Engine.poke_int e "a" 0xA;
+      Engine.poke_int e "b" 0xB;
+      Engine.settle e;
+      checki "cat(a, b)" 0xAB (Engine.peek_int e "o"))
+    [ Engine.Tree; Engine.Compiled ]
+
+(* Acceptance gate: a compiled [step] performs no per-cycle heap allocation
+   attributable to value traffic. The slack below covers the constant-size
+   boxes of the [Gc.minor_words] calls themselves; any per-cycle allocation
+   would show up as >= 1 word x 1000 cycles. *)
+let test_step_no_alloc () =
+  let e = Engine.compile counter_module in
+  Engine.poke_int e "en" 1;
+  Engine.step e;
+  let w0 = Gc.minor_words () in
+  for _ = 1 to 1000 do
+    Engine.step e
+  done;
+  let words = Gc.minor_words () -. w0 in
+  checkb
+    (Printf.sprintf "allocation-free step (%.0f minor words / 1000 cycles)" words)
+    true (words < 64.)
+
 (* Differential property: the engine's evaluation of a fixed expression
    over random inputs matches a direct OCaml interpretation. *)
 let prop_engine_matches_interpreter =
@@ -173,6 +222,158 @@ module X [other] :
       Engine.settle e;
       let expect = if s = 1 then (a + b) land 255 else a lxor b in
       Engine.peek_int e "o" = expect)
+
+(* --- Compiled-vs-interpreted differential --- *)
+
+(* Generator of random well-formed netlists: a few inputs and registers, a
+   chain of nodes whose expressions draw on every primop (including [cat]),
+   register drives over the full environment, and an output. Expression
+   widths are tracked during generation (with the same result-width rules
+   the engine uses) so [cat] never exceeds 63 bits. *)
+let gen_netlist : Sonar_ir.Fmodule.t QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let open Sonar_ir in
+  let gen_width = int_range 1 16 in
+  let rec gen_expr env fuel =
+    let ref_gen =
+      let* name, w = oneofl env in
+      return (Expr.reference name, w)
+    in
+    let lit_gen =
+      let* w = gen_width in
+      let* v = int_bound 0xFFFF in
+      return (Expr.lit ~width:w (Int64.of_int v), w)
+    in
+    if fuel = 0 then oneof [ ref_gen; lit_gen ]
+    else
+      let sub = gen_expr env (fuel - 1) in
+      let unop =
+        let* a, wa = sub in
+        let* k = int_range 0 4 in
+        let* n = int_range 0 6 in
+        return
+          (match k with
+          | 0 -> (Expr.prim Expr.Not [ a ], wa)
+          | 1 -> (Expr.prim (Expr.Shl n) [ a ], min 63 (wa + n))
+          | 2 -> (Expr.prim (Expr.Shr n) [ a ], max 1 (wa - n))
+          | 3 -> (Expr.prim (Expr.Bits (n + 3, n)) [ a ], 4)
+          | _ -> (Expr.prim (Expr.Pad (n + 1)) [ a ], n + 1))
+      in
+      let binop =
+        let* a, wa = sub in
+        let* b, wb = sub in
+        let* k = int_range 0 9 in
+        return
+          (match k with
+          | 0 -> (Expr.prim Expr.Add [ a; b ], max wa wb)
+          | 1 -> (Expr.prim Expr.Sub [ a; b ], max wa wb)
+          | 2 -> (Expr.prim Expr.And [ a; b ], max wa wb)
+          | 3 -> (Expr.prim Expr.Or [ a; b ], max wa wb)
+          | 4 -> (Expr.prim Expr.Xor [ a; b ], max wa wb)
+          | 5 -> (Expr.prim Expr.Eq [ a; b ], 1)
+          | 6 -> (Expr.prim Expr.Neq [ a; b ], 1)
+          | 7 -> (Expr.prim Expr.Lt [ a; b ], 1)
+          | 8 -> (Expr.prim Expr.Geq [ a; b ], 1)
+          | _ ->
+              if wa + wb <= 63 then (Expr.prim Expr.Cat [ a; b ], wa + wb)
+              else (Expr.prim Expr.Or [ a; b ], max wa wb))
+      in
+      let mux_gen =
+        let* s, _ = sub in
+        let* a, wa = sub in
+        let* b, wb = sub in
+        return (Expr.mux s a b, max wa wb)
+      in
+      frequency
+        [ (2, ref_gen); (1, lit_gen); (2, unop); (3, binop); (2, mux_gen) ]
+  in
+  let* n_inputs = int_range 1 3 in
+  let* input_widths = list_repeat n_inputs gen_width in
+  let inputs = List.mapi (fun i w -> (Printf.sprintf "in%d" i, w)) input_widths in
+  let* n_regs = int_range 0 2 in
+  let* reg_specs = list_repeat n_regs (pair gen_width (int_bound 1000)) in
+  let regs =
+    List.mapi
+      (fun i (w, r) -> (Printf.sprintf "r%d" i, w, Int64.of_int r))
+      reg_specs
+  in
+  let base_env = inputs @ List.map (fun (n, w, _) -> (n, w)) regs in
+  let* n_nodes = int_range 1 5 in
+  let rec build_nodes env acc k =
+    if k = 0 then return (List.rev acc, env)
+    else
+      let* e, w = gen_expr env 3 in
+      let name = Printf.sprintf "n%d" (List.length acc) in
+      build_nodes ((name, w) :: env) ((name, e) :: acc) (k - 1)
+  in
+  let* nodes, env = build_nodes base_env [] n_nodes in
+  let* reg_drives = list_repeat n_regs (gen_expr env 2) in
+  let last_node = Printf.sprintf "n%d" (n_nodes - 1) in
+  let stmts =
+    List.map (fun (n, w) -> Stmt.Input { name = n; width = w }) inputs
+    @ List.map
+        (fun (n, w, r) -> Stmt.Reg { name = n; width = w; reset = Some r })
+        regs
+    @ List.map (fun (n, e) -> Stmt.Node { name = n; expr = e }) nodes
+    @ List.map2
+        (fun (n, _, _) (e, _) -> Stmt.Connect { dst = n; src = e })
+        regs reg_drives
+    @ [
+        Stmt.Output { name = "out"; width = 8 };
+        Stmt.Connect { dst = "out"; src = Expr.reference last_node };
+      ]
+  in
+  return (Fmodule.make "Rand" stmts)
+
+(* Drive both backends with the same pseudo-random input stream and require
+   every signal to agree after every cycle. *)
+let engines_agree m ~cycles ~seed =
+  let a = Engine.compile ~backend:Engine.Tree m in
+  let b = Engine.compile ~backend:Engine.Compiled m in
+  let inputs = Sonar_ir.Fmodule.inputs m in
+  let names = Engine.signal_names a in
+  let state = ref (seed lor 1) in
+  let agree () =
+    List.for_all
+      (fun n -> Bitvec.equal (Engine.peek a n) (Engine.peek b n))
+      names
+  in
+  let ok = ref (agree ()) in
+  for _ = 1 to cycles do
+    List.iter
+      (fun (n, _) ->
+        state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+        Engine.poke_int a n !state;
+        Engine.poke_int b n !state)
+      inputs;
+    Engine.step a;
+    Engine.step b;
+    ok := !ok && agree ()
+  done;
+  !ok
+
+let prop_compiled_matches_interpreted =
+  QCheck2.Test.make ~name:"compiled step = interpreted step (random netlists)"
+    ~count:150
+    QCheck2.Gen.(triple gen_netlist (int_range 1 15) (int_bound 0x3FFFFF))
+    (fun (m, cycles, seed) -> engines_agree m ~cycles ~seed)
+
+(* The same differential over the generated (and instrumented) boom and
+   nutshell netlists — every module, every signal, every cycle. *)
+let test_generated_netlist_differential () =
+  List.iter
+    (fun cfg ->
+      let circuit = Sonar_dut.Netlist_gen.generate ~scale:0.02 ~pad:false cfg in
+      let r = Sonar_ir.Instrument.instrument circuit in
+      List.iter
+        (fun m ->
+          checkb
+            (Printf.sprintf "%s/%s compiled = interpreted"
+               cfg.Sonar_uarch.Config.name m.Sonar_ir.Fmodule.name)
+            true
+            (engines_agree m ~cycles:12 ~seed:(Hashtbl.hash m.Sonar_ir.Fmodule.name)))
+        r.Sonar_ir.Instrument.circuit.Sonar_ir.Circuit.modules)
+    [ Sonar_uarch.Config.boom; Sonar_uarch.Config.nutshell ]
 
 (* --- Monitor --- *)
 
@@ -220,6 +421,39 @@ let test_monitor_window () =
   checkb "outside window ignored" false st.Monitor.triggered;
   checki "no hits recorded" 0 st.request_hits
 
+(* The monitor's observable stream must be identical whichever engine
+   backend it samples: same [reqsIntvl] minima, triggers, and hit counts
+   after every cycle of the same stimulus on an instrumented netlist. *)
+let test_monitor_stream_backends () =
+  let m = Sonar_dut.Netlist_gen.example_module () in
+  let r = Sonar_ir.Instrument.instrument (Sonar_ir.Circuit.make "c" [ m ]) in
+  let m' = List.hd r.Sonar_ir.Instrument.circuit.Sonar_ir.Circuit.modules in
+  let run backend =
+    let e = Engine.compile ~backend m' in
+    let mon = Monitor.create e r.monitors in
+    let stream = ref [] in
+    List.iter
+      (fun (ld, st) ->
+        Engine.poke_int e "io_ldq_idx_valid" ld;
+        Engine.poke_int e "io_stq_idx_valid" st;
+        Engine.step e;
+        Monitor.sample mon;
+        stream :=
+          List.map
+            (fun (s : Monitor.point_state) ->
+              ( s.point_id,
+                s.min_pair_interval,
+                s.min_self_interval,
+                s.triggered,
+                s.request_hits ))
+            (Monitor.states mon)
+          :: !stream)
+      [ (1, 0); (0, 0); (0, 0); (0, 1); (1, 1); (0, 0); (1, 0); (0, 1) ];
+    List.rev !stream
+  in
+  checkb "identical reqsIntvl streams" true
+    (run Engine.Tree = run Engine.Compiled)
+
 (* --- VCD --- *)
 
 let contains needle hay =
@@ -258,8 +492,19 @@ let () =
           Alcotest.test_case "reset" `Quick test_engine_reset;
           Alcotest.test_case "combinational" `Quick test_engine_comb;
           Alcotest.test_case "unknown signals" `Quick test_engine_unknown_signal;
+          Alcotest.test_case "tree backend" `Quick test_engine_tree_backend;
+          Alcotest.test_case "cat" `Quick test_engine_cat;
+          Alcotest.test_case "allocation-free step" `Quick test_step_no_alloc;
         ]
         @ qcheck [ prop_engine_matches_interpreter ] );
+      ( "compiled-differential",
+        [
+          Alcotest.test_case "generated boom/nutshell netlists" `Quick
+            test_generated_netlist_differential;
+          Alcotest.test_case "monitor stream across backends" `Quick
+            test_monitor_stream_backends;
+        ]
+        @ qcheck [ prop_compiled_matches_interpreted ] );
       ( "levelize",
         [
           Alcotest.test_case "ordering" `Quick test_levelize_order;

@@ -61,6 +61,28 @@ let test_cpoint_taint_gating () =
   Cpoint.request reg p ~tainted:true ~source:0 ~data:3L;
   checkb "tainted member triggers" true (Cpoint.triggered_subs p <> [])
 
+(* Regression for the incremental active-source counter: dominance must
+   survive repeated one-source activity (in and out of the window) and be
+   demoted exactly when a second source first requests in-window. *)
+let test_cpoint_dominance_counter () =
+  let reg = registry () in
+  let p = Cpoint.point reg ~name:"t.dom" ~component:Sonar_ir.Component.Exec
+      ~sources:[ "a"; "b"; "c" ] () in
+  Cpoint.set_cycle reg 1;
+  (* Out-of-window requests do not count as activity. *)
+  Cpoint.request reg p ~tainted:true ~source:1 ~data:1L;
+  Cpoint.open_window reg;
+  Cpoint.set_cycle reg 2;
+  Cpoint.request reg p ~tainted:true ~source:0 ~data:1L;
+  Cpoint.request reg p ~tainted:true ~source:0 ~data:2L;
+  Cpoint.request reg p ~tainted:true ~source:0 ~data:3L;
+  checkb "one active source: still dominated" true p.Cpoint.single_valid_dominated;
+  checki "active sources" 1 p.Cpoint.active_sources;
+  Cpoint.set_cycle reg 3;
+  Cpoint.request reg p ~tainted:true ~source:2 ~data:4L;
+  checkb "second source demotes" false p.Cpoint.single_valid_dominated;
+  checki "two active sources" 2 p.Cpoint.active_sources
+
 let test_cpoint_window_gating () =
   let reg = registry () in
   let p = Cpoint.point reg ~name:"t.arb3" ~component:Sonar_ir.Component.Exec
@@ -322,6 +344,7 @@ let () =
         [
           Alcotest.test_case "intervals and triggers" `Quick test_cpoint_intervals_and_triggers;
           Alcotest.test_case "taint gating" `Quick test_cpoint_taint_gating;
+          Alcotest.test_case "dominance counter" `Quick test_cpoint_dominance_counter;
           Alcotest.test_case "window gating" `Quick test_cpoint_window_gating;
           Alcotest.test_case "single source" `Quick test_cpoint_single_source;
           Alcotest.test_case "pair names" `Quick test_cpoint_pair_name;
