@@ -138,8 +138,9 @@ let table2 () =
       let _, t_fuzz =
         time_it (fun () ->
             ignore
-              (Sonar.Fuzzer.run ~seed:5L cfg Sonar.Fuzzer.full_strategy
-                 ~iterations:fuzz_iters))
+              (Sonar.Fuzzer.run
+                 ~options:{ Sonar.Fuzzer.Options.default with seed = 5L }
+                 cfg Sonar.Fuzzer.full_strategy ~iterations:fuzz_iters))
       in
       Printf.sprintf
         "%-10s points %5d | compile %.2fs (+%.0f%%) | new stmts %.0fk (%.0f%%) \
@@ -179,8 +180,9 @@ let fig8 () =
     pmap
       (fun (cfg, guided) ->
         if guided then
-          Sonar.Fuzzer.run ~seed:42L cfg Sonar.Fuzzer.full_strategy
-            ~iterations:fuzz_iterations
+          Sonar.Fuzzer.run
+            ~options:{ Sonar.Fuzzer.Options.default with seed = 42L }
+            cfg Sonar.Fuzzer.full_strategy ~iterations:fuzz_iterations
         else
           Sonar.Baseline.random_testing ~seed:42L cfg ~iterations:fuzz_iterations)
       (List.concat_map
@@ -223,7 +225,11 @@ let fig9 () =
   section "fig9" "Single-valid-signal dominance in the first 20 testcases";
   pmap
     (fun cfg ->
-      let o = Sonar.Fuzzer.run ~seed:7L cfg Sonar.Fuzzer.full_strategy ~iterations:20 in
+      let o =
+        Sonar.Fuzzer.run
+          ~options:{ Sonar.Fuzzer.Options.default with seed = 7L }
+          cfg Sonar.Fuzzer.full_strategy ~iterations:20
+      in
       Printf.sprintf "%-10s single-valid share of early coverage: %.0f%%"
         cfg.Sonar_uarch.Config.name
         (100. *. o.single_valid_share_first20))
@@ -251,7 +257,9 @@ let fig10 () =
   pmap
     (fun (name, strategy) ->
       let o =
-        Sonar.Fuzzer.run ~seed:42L Sonar_uarch.Config.boom strategy ~iterations:iters
+        Sonar.Fuzzer.run
+          ~options:{ Sonar.Fuzzer.Options.default with seed = 42L }
+          Sonar_uarch.Config.boom strategy ~iterations:iters
       in
       Printf.sprintf "%-26s coverage %8.0f  timing diffs %6d" name
         o.final_coverage o.final_timing_diffs)
@@ -269,8 +277,9 @@ let fig11 () =
   let p = Lazy.force pool in
   let sonar_f =
     Sonar.Domain_pool.submit p (fun () ->
-        Sonar.Fuzzer.run ~seed:11L Sonar_uarch.Config.boom
-          Sonar.Fuzzer.full_strategy ~iterations:iters)
+        Sonar.Fuzzer.run
+          ~options:{ Sonar.Fuzzer.Options.default with seed = 11L }
+          Sonar_uarch.Config.boom Sonar.Fuzzer.full_strategy ~iterations:iters)
   in
   let sd_f =
     Sonar.Domain_pool.submit p (fun () ->
@@ -367,33 +376,56 @@ let speedup () =
   let jobs_n = max 2 (Sonar.Domain_pool.default_jobs ()) in
   Printf.printf "%s, %d iterations, full strategy, batch=%d\n%!"
     cfg.Sonar_uarch.Config.name iters Sonar.Fuzzer.default_batch;
+  (* Each run carries an in-memory telemetry aggregator so the wall-clock
+     splits into generate/execute/feedback phases — the execute share is
+     the only part extra jobs can parallelise (sinks observe the campaign
+     but never influence it; the bit-identical check below still holds). *)
   let campaign jobs =
-    Sonar.Fuzzer.run ~seed:42L ~jobs cfg Sonar.Fuzzer.full_strategy
-      ~iterations:iters
+    let sink, snap = Sonar.Telemetry.aggregator () in
+    let o =
+      Sonar.Fuzzer.run
+        ~options:
+          { Sonar.Fuzzer.Options.default with seed = 42L; jobs; sinks = [ sink ] }
+        cfg Sonar.Fuzzer.full_strategy ~iterations:iters
+    in
+    (o, snap ())
   in
-  let o1, t1 = time_it (fun () -> campaign 1) in
+  let phase_line (m : Sonar.Telemetry.Metrics.snapshot) =
+    Printf.printf
+    "           phases: generate %6.2fs | execute %6.2fs | feedback %6.2fs \
+     (pool utilization %.0f%%)\n%!"
+      m.generate_seconds m.execute_seconds m.feedback_seconds
+      (100. *. m.pool_utilization)
+  in
+  let (o1, m1), t1 = time_it (fun () -> campaign 1) in
   Printf.printf "  jobs=1   %8.2fs\n%!" t1;
-  let on, tn = time_it (fun () -> campaign jobs_n) in
+  phase_line m1;
+  let (on, mn), tn = time_it (fun () -> campaign jobs_n) in
   let speedup = t1 /. tn in
   Printf.printf "  jobs=%-3d %8.2fs  (%.2fx)\n%!" jobs_n tn speedup;
+  phase_line mn;
   let identical = o1 = on in
   Printf.printf "  outcomes bit-identical across job counts: %b\n" identical;
+  let doc =
+    Sonar.Json.Obj
+      [
+        ("dut", Sonar.Json.String cfg.Sonar_uarch.Config.name);
+        ("iterations", Sonar.Json.Int iters);
+        ("batch", Sonar.Json.Int Sonar.Fuzzer.default_batch);
+        ("jobs", Sonar.Json.Int jobs_n);
+        ("seconds_jobs1", Sonar.Json.Float t1);
+        ("seconds_jobsN", Sonar.Json.Float tn);
+        ("speedup", Sonar.Json.Float speedup);
+        ("identical_outcomes", Sonar.Json.Bool identical);
+        ("final_coverage", Sonar.Json.Float o1.Sonar.Fuzzer.final_coverage);
+        ("final_timing_diffs", Sonar.Json.Int o1.final_timing_diffs);
+        ("phases_jobs1", Sonar.Telemetry.Metrics.to_json m1);
+        ("phases_jobsN", Sonar.Telemetry.Metrics.to_json mn);
+      ]
+  in
   let oc = open_out "BENCH_parallel.json" in
-  Printf.fprintf oc
-    "{\n\
-    \  \"dut\": \"%s\",\n\
-    \  \"iterations\": %d,\n\
-    \  \"batch\": %d,\n\
-    \  \"jobs\": %d,\n\
-    \  \"seconds_jobs1\": %.3f,\n\
-    \  \"seconds_jobsN\": %.3f,\n\
-    \  \"speedup\": %.3f,\n\
-    \  \"identical_outcomes\": %b,\n\
-    \  \"final_coverage\": %.3f,\n\
-    \  \"final_timing_diffs\": %d\n\
-     }\n"
-    cfg.Sonar_uarch.Config.name iters Sonar.Fuzzer.default_batch jobs_n t1 tn
-    speedup identical o1.Sonar.Fuzzer.final_coverage o1.final_timing_diffs;
+  output_string oc (Sonar.Json.to_string doc);
+  output_char oc '\n';
   close_out oc;
   Printf.printf "  wrote BENCH_parallel.json\n"
 

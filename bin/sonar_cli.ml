@@ -4,29 +4,81 @@
      sonar fuzz     --dut boom -n 500     guided fuzzing campaign
      sonar channels [--id S5]             measure the Table 3 channels
      sonar attack   --id S11 -t 10        Meltdown-style PoC
-*)
+
+   Machine-readable output: `--format json` (analyze/fuzz/channels) emits
+   one stable JSON document on stdout; `sonar fuzz --trace FILE` streams
+   the campaign's telemetry events as JSONL (schema: DESIGN.md §9). *)
 
 open Cmdliner
+module Json = Sonar.Json
+module Telemetry = Sonar.Telemetry
 
 let dut_arg =
   let doc = "Design under test: boom or nutshell." in
   Arg.(value & opt string "boom" & info [ "dut" ] ~docv:"DUT" ~doc)
+
+let format_arg =
+  let doc = "Output format: $(b,text) (human-readable) or $(b,json) (one \
+             stable JSON document on stdout)." in
+  Arg.(
+    value
+    & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+    & info [ "format" ] ~docv:"FMT" ~doc)
 
 let config_of_name name =
   match Sonar_uarch.Config.by_name name with
   | Some cfg -> Ok cfg
   | None -> Error (`Msg (Printf.sprintf "unknown DUT %s (boom|nutshell)" name))
 
-let analyze dut =
+let unknown_channel id =
+  Printf.eprintf "unknown channel id %s; valid ids: %s\n" id
+    (String.concat ", " (List.map (fun c -> c.Sonar.Channels.id) Sonar.Channels.all));
+  1
+
+(* ------------------------------------------------------------------ *)
+(* analyze                                                             *)
+
+let json_of_summary dut (s : Sonar_ir.Analysis.summary) : Json.t =
+  Json.Obj
+    [
+      ("command", Json.String "analyze");
+      ("dut", Json.String dut);
+      ("circuit", Json.String s.circuit_name);
+      ("naive_mux_points", Json.Int s.naive_mux_points);
+      ("identified_points", Json.Int s.identified_points);
+      ("monitored_points", Json.Int s.monitored_points);
+      ("reduction_vs_naive", Json.Float s.reduction_vs_naive);
+      ("reduction_by_filter", Json.Float s.reduction_by_filter);
+      ( "per_component",
+        Json.List
+          (List.map
+             (fun (cs : Sonar_ir.Analysis.component_stats) ->
+               Json.Obj
+                 [
+                   ( "component",
+                     Json.String (Sonar_ir.Component.to_string cs.component) );
+                   ("identified", Json.Int cs.identified);
+                   ("monitored", Json.Int cs.monitored);
+                 ])
+             s.per_component) );
+    ]
+
+let analyze dut format =
   match config_of_name dut with
   | Error (`Msg m) -> prerr_endline m; 1
   | Ok cfg ->
       let circuit = Sonar_dut.Netlist_gen.generate ~pad:false cfg in
-      Format.printf "%a@." Sonar_ir.Analysis.pp_summary
-        (Sonar_ir.Analysis.summarize circuit);
+      let summary = Sonar_ir.Analysis.summarize circuit in
+      (match format with
+      | `Text -> Format.printf "%a@." Sonar_ir.Analysis.pp_summary summary
+      | `Json -> print_endline (Json.to_string (json_of_summary dut summary)));
       0
 
-let fuzz dut iterations seed random_mode dual jobs =
+(* ------------------------------------------------------------------ *)
+(* fuzz                                                                *)
+
+let fuzz dut iterations seed random_mode dual jobs batch trace stats progress
+    format =
   match config_of_name dut with
   | Error (`Msg m) -> prerr_endline m; 1
   | Ok cfg ->
@@ -37,47 +89,112 @@ let fuzz dut iterations seed random_mode dual jobs =
       let jobs =
         match jobs with Some j -> max 1 j | None -> Sonar.Domain_pool.default_jobs ()
       in
-      let o =
-        Sonar.Fuzzer.run ~seed:(Int64.of_int seed) ~dual ~jobs cfg strategy
-          ~iterations
+      let trace_sink = Option.map (fun path -> Telemetry.jsonl_file path) trace in
+      let agg = if stats then Some (Telemetry.aggregator ()) else None in
+      let progress_sink =
+        Option.map
+          (fun every -> Telemetry.progress ~every:(max 1 every) ~total:iterations ())
+          progress
       in
-      Format.printf
-        "%s, %d iterations (%s):@.  contention coverage %.0f netlist points@.  \
-         %d secret-reflecting timing differences in %d testcases@."
-        dut iterations
-        (if random_mode then "random testing" else "guided")
-        o.Sonar.Fuzzer.final_coverage o.final_timing_diffs o.testcases_with_diffs;
-      List.iteri
-        (fun k (iteration, report) ->
-          if k < 3 then
-            Format.printf "@.finding at iteration %d:@.%a@." iteration
-              Sonar.Detector.pp_report report)
-        o.reports;
+      let sinks =
+        List.filter_map Fun.id [ trace_sink; Option.map fst agg; progress_sink ]
+      in
+      let options =
+        {
+          Sonar.Fuzzer.Options.default with
+          seed = Int64.of_int seed;
+          dual;
+          jobs;
+          batch;
+          sinks;
+        }
+      in
+      let o = Sonar.Fuzzer.run ~options cfg strategy ~iterations in
+      List.iter Telemetry.close sinks;
+      let snapshot = Option.map (fun (_, snap) -> snap ()) agg in
+      (match format with
+      | `Json ->
+          let meta =
+            [
+              ("command", Json.String "fuzz");
+              ("dut", Json.String dut);
+              ("iterations", Json.Int iterations);
+              ("seed", Json.Int seed);
+              ( "strategy",
+                Json.String (if random_mode then "random" else "guided") );
+              ("dual", Json.Bool dual);
+              ("jobs", Json.Int jobs);
+              ("batch", Json.Int batch);
+            ]
+          in
+          let outcome_fields =
+            match Sonar.Fuzzer.json_of_outcome o with
+            | Json.Obj fields -> fields
+            | other -> [ ("outcome", other) ]
+          in
+          let metrics =
+            match snapshot with
+            | Some s -> [ ("metrics", Telemetry.Metrics.to_json s) ]
+            | None -> []
+          in
+          print_endline (Json.to_string (Json.Obj (meta @ outcome_fields @ metrics)))
+      | `Text ->
+          Format.printf
+            "%s, %d iterations (%s):@.  contention coverage %.0f netlist points@.  \
+             %d secret-reflecting timing differences in %d testcases@."
+            dut iterations
+            (if random_mode then "random testing" else "guided")
+            o.Sonar.Fuzzer.final_coverage o.final_timing_diffs
+            o.testcases_with_diffs;
+          List.iteri
+            (fun k (iteration, report) ->
+              if k < 3 then
+                Format.printf "@.finding at iteration %d:@.%a@." iteration
+                  Sonar.Detector.pp_report report)
+            o.reports;
+          Option.iter
+            (fun s -> Format.printf "@.%a@." Telemetry.Metrics.pp s)
+            snapshot);
       0
 
-let channels id =
+(* ------------------------------------------------------------------ *)
+(* channels                                                            *)
+
+let channels id format =
   let selected =
     match id with
-    | Some id -> (
-        match Sonar.Channels.find id with Some c -> [ c ] | None -> [])
-    | None -> Sonar.Channels.all
+    | Some id -> Option.map (fun c -> [ c ]) (Sonar.Channels.find id)
+    | None -> Some Sonar.Channels.all
   in
-  if selected = [] then begin
-    prerr_endline "unknown channel id (S1..S14)";
-    1
-  end
-  else begin
-    List.iter
-      (fun c ->
-        Format.printf "%a@." Sonar.Channels.pp_measurement
-          (Sonar.Channels.measure c))
-      selected;
-    0
-  end
+  match selected with
+  | None -> unknown_channel (Option.get id)
+  | Some selected -> (
+      let measurements = List.map Sonar.Channels.measure selected in
+      match format with
+      | `Text ->
+          List.iter
+            (fun m -> Format.printf "%a@." Sonar.Channels.pp_measurement m)
+            measurements;
+          0
+      | `Json ->
+          print_endline
+            (Json.to_string
+               (Json.Obj
+                  [
+                    ("command", Json.String "channels");
+                    ( "channels",
+                      Json.List
+                        (List.map Sonar.Channels.json_of_measurement measurements)
+                    );
+                  ]));
+          0)
+
+(* ------------------------------------------------------------------ *)
+(* attack                                                              *)
 
 let attack id trials bits =
   match Sonar.Channels.find id with
-  | None -> prerr_endline "unknown channel id (S1..S14)"; 1
+  | None -> unknown_channel id
   | Some c -> (
       match Sonar.Attack.gadget_for id with
       | None ->
@@ -91,9 +208,12 @@ let attack id trials bits =
           Format.printf "%a@." Sonar.Attack.pp_result r;
           0)
 
+(* ------------------------------------------------------------------ *)
+(* command definitions                                                 *)
+
 let analyze_cmd =
   let doc = "identify and filter contention points in a DUT netlist" in
-  Cmd.v (Cmd.info "analyze" ~doc) Term.(const analyze $ dut_arg)
+  Cmd.v (Cmd.info "analyze" ~doc) Term.(const analyze $ dut_arg $ format_arg)
 
 let fuzz_cmd =
   let doc = "run a contention-guided fuzzing campaign" in
@@ -117,15 +237,52 @@ let fuzz_cmd =
              \\$(b,SONAR_JOBS) or the core count). Results are identical \
              for every N; only wall-clock changes.")
   in
+  let batch =
+    Arg.(
+      value
+      & opt int Sonar.Fuzzer.default_batch
+      & info [ "batch" ] ~docv:"N"
+          ~doc:
+            "Generation size (candidates drawn before feedback lands). \
+             Shapes the campaign; keep it fixed when comparing runs.")
+  in
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Write the campaign's telemetry events to $(docv) as JSONL \
+             (one event per line; deterministic for a fixed seed/batch, \
+             independent of --jobs).")
+  in
+  let stats =
+    Arg.(
+      value
+      & flag
+      & info [ "stats" ]
+          ~doc:
+            "Aggregate telemetry in memory and report campaign metrics \
+             (counters, per-phase wall-clock, events/sec) at the end.")
+  in
+  let progress =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "progress" ] ~docv:"N"
+          ~doc:"Report progress on stderr every $(docv) testcases.")
+  in
   Cmd.v (Cmd.info "fuzz" ~doc)
-    Term.(const fuzz $ dut_arg $ iters $ seed $ random_mode $ dual $ jobs)
+    Term.(
+      const fuzz $ dut_arg $ iters $ seed $ random_mode $ dual $ jobs $ batch
+      $ trace $ stats $ progress $ format_arg)
 
 let channels_cmd =
   let doc = "measure the catalogued side channels (Table 3)" in
   let id =
     Arg.(value & opt (some string) None & info [ "id" ] ~docv:"Sx" ~doc:"Channel id.")
   in
-  Cmd.v (Cmd.info "channels" ~doc) Term.(const channels $ id)
+  Cmd.v (Cmd.info "channels" ~doc) Term.(const channels $ id $ format_arg)
 
 let attack_cmd =
   let doc = "run a Meltdown-style exploitability PoC (§8.5)" in

@@ -37,8 +37,9 @@ circuit Quickstart :
   (* Step 3: a short guided fuzzing campaign on the NutShell-like core. *)
   Format.printf "== Guided fuzzing (NutShell model, 60 iterations) ==@.";
   let outcome =
-    Sonar.Fuzzer.run ~seed:2024L Sonar_uarch.Config.nutshell
-      Sonar.Fuzzer.full_strategy ~iterations:60
+    Sonar.Fuzzer.run
+      ~options:{ Sonar.Fuzzer.Options.default with seed = 2024L }
+      Sonar_uarch.Config.nutshell Sonar.Fuzzer.full_strategy ~iterations:60
   in
   Format.printf
     "contention coverage %.0f netlist points, %d secret-reflecting timing \

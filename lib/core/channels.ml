@@ -602,6 +602,24 @@ let measure ?max_cycles c =
   in
   { channel = c; time_difference; in_band; points_implicated; report }
 
+let json_of_measurement m : Json.t =
+  Json.Obj
+    [
+      ("id", Json.String m.channel.id);
+      ("resource", Json.String m.channel.resource);
+      ("dut", Json.String m.channel.dut);
+      ("new", Json.Bool m.channel.is_new);
+      ("time_difference", Json.Int m.time_difference);
+      ( "paper_band",
+        Json.List
+          [ Json.Int (fst m.channel.paper_band); Json.Int (snd m.channel.paper_band) ]
+      );
+      ("in_band", Json.Bool m.in_band);
+      ("points_implicated", Json.Bool m.points_implicated);
+      ("ccd_findings", Json.Int (List.length m.report.Detector.findings));
+      ("total_delta", Json.Int m.report.Detector.total_delta);
+    ]
+
 let pp_measurement fmt m =
   Format.fprintf fmt "%-4s %-10s %-9s delta %4d cycles (paper %d-%d) %s%s"
     m.channel.id m.channel.resource m.channel.dut m.time_difference

@@ -58,3 +58,7 @@ val measure : ?max_cycles:int -> t -> measurement
 (** Run the scenario under both secrets and evaluate it. *)
 
 val pp_measurement : Format.formatter -> measurement -> unit
+
+val json_of_measurement : measurement -> Json.t
+(** Stable JSON form (the CLI's [--format json] document; shares the
+    {!Json} serialiser with the telemetry trace). *)

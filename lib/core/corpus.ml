@@ -33,13 +33,19 @@ let entries t =
   let cap = capacity t in
   List.init t.count (fun i -> Option.get t.ring.((t.next - 1 - i + (2 * cap)) mod cap))
 
-let add_entry t e =
+let add_entry ?emit t e =
   (* Overwriting the slot evicts the oldest entry once the ring is full. *)
+  (match (t.ring.(t.next), emit) with
+  | Some old, Some emit ->
+      emit
+        (Telemetry.Corpus_evicted
+           { testcase_id = old.tc.Testcase.id; corpus_size = t.count })
+  | _ -> ());
   t.ring.(t.next) <- Some e;
   t.next <- (t.next + 1) mod capacity t;
   if t.count < capacity t then t.count <- t.count + 1
 
-let consider t tc ~intervals =
+let consider ?emit t tc ~intervals =
   let improves =
     List.exists
       (fun (point, v) ->
@@ -57,7 +63,13 @@ let consider t tc ~intervals =
             Hashtbl.replace t.best point v;
             Hashtbl.remove t.attempts point)
       intervals;
-    add_entry t { tc; intervals };
+    add_entry ?emit t { tc; intervals };
+    (match emit with
+    | Some emit ->
+        emit
+          (Telemetry.Corpus_retained
+             { testcase_id = tc.Testcase.id; corpus_size = t.count })
+    | None -> ());
     true
   end
   else false

@@ -17,10 +17,17 @@ type t
 
 val create : ?max_entries:int -> unit -> t
 
-val consider : t -> Testcase.t -> intervals:(point * int) list -> bool
+val consider :
+  ?emit:(Telemetry.event -> unit) ->
+  t ->
+  Testcase.t ->
+  intervals:(point * int) list ->
+  bool
 (** Add the testcase if it improves any point's best interval; returns
     whether it was retained. Beyond [max_entries] the oldest entry is
-    evicted in O(1) (ring buffer overwrite). *)
+    evicted in O(1) (ring buffer overwrite). [emit] receives a
+    {!Telemetry.event.Corpus_evicted} for the overwritten entry (if any)
+    followed by a {!Telemetry.event.Corpus_retained} for the new one. *)
 
 val select : t -> Rng.t -> (entry * point) option
 (** A seed to mutate plus the target contention point (the one with the

@@ -11,29 +11,50 @@ let run_pair ?max_cycles cfg build =
     run1 = Machine.run ?max_cycles cfg (build ~secret:1);
   }
 
-let execute ?max_cycles cfg tc =
-  run_pair ?max_cycles cfg (fun ~secret -> Testcase.materialize tc ~secret)
+let executed_event tc pair =
+  Telemetry.Testcase_executed
+    {
+      testcase_id = tc.Testcase.id;
+      cycles0 = pair.run0.Machine.cycles;
+      cycles1 = pair.run1.Machine.cycles;
+    }
 
-let execute_batch ?max_cycles ?pool cfg tcs =
+let execute ?max_cycles ?emit cfg tc =
+  let pair =
+    run_pair ?max_cycles cfg (fun ~secret -> Testcase.materialize tc ~secret)
+  in
+  (match emit with Some emit -> emit (executed_event tc pair) | None -> ());
+  pair
+
+let execute_batch ?max_cycles ?pool ?emit cfg tcs =
   match pool with
-  | None -> List.map (execute ?max_cycles cfg) tcs
+  | None -> List.map (execute ?max_cycles ?emit cfg) tcs
   | Some pool ->
       (* Fan both secret-runs of every testcase across the pool, then
          assemble pairs in submission order. [Machine.run] allocates all of
          its mutable state (cores, memsys, cpoint registries) per call, so
-         the runs are independent; see domain_pool.mli. *)
+         the runs are independent; see domain_pool.mli. Telemetry is only
+         ever emitted here, on the awaiting domain, per candidate in
+         submission order — never from a worker — so traces are identical
+         to the sequential path's. *)
       let futures =
         List.map
           (fun tc ->
             let run secret () =
               Machine.run ?max_cycles cfg (Testcase.materialize tc ~secret)
             in
-            (Domain_pool.submit pool (run 0), Domain_pool.submit pool (run 1)))
+            (tc, Domain_pool.submit pool (run 0), Domain_pool.submit pool (run 1)))
           tcs
       in
       List.map
-        (fun (f0, f1) ->
-          { run0 = Domain_pool.await f0; run1 = Domain_pool.await f1 })
+        (fun (tc, f0, f1) ->
+          let pair =
+            { run0 = Domain_pool.await f0; run1 = Domain_pool.await f1 }
+          in
+          (match emit with
+          | Some emit -> emit (executed_event tc pair)
+          | None -> ());
+          pair)
         futures
 
 (* Monomorphic comparators for the sorted outputs below. The orderings are

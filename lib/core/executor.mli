@@ -18,11 +18,18 @@ val run_pair :
     hand-built channel scenarios. *)
 
 val execute :
-  ?max_cycles:int -> Sonar_uarch.Config.t -> Testcase.t -> pair
+  ?max_cycles:int ->
+  ?emit:(Telemetry.event -> unit) ->
+  Sonar_uarch.Config.t ->
+  Testcase.t ->
+  pair
+(** [emit] receives one {!Telemetry.event.Testcase_executed} after the two
+    secret-runs complete. *)
 
 val execute_batch :
   ?max_cycles:int ->
   ?pool:Domain_pool.t ->
+  ?emit:(Telemetry.event -> unit) ->
   Sonar_uarch.Config.t ->
   Testcase.t list ->
   pair list
@@ -30,7 +37,9 @@ val execute_batch :
     across [pool] (sequential when no pool is given). Results are in input
     order and element-wise identical to {!execute} per testcase: each
     [Machine.run] allocates all of its mutable state per call, so the runs
-    share nothing. *)
+    share nothing. [emit] is invoked only from the calling domain, one
+    {!Telemetry.event.Testcase_executed} per testcase in input order —
+    identical for every pool size. *)
 
 val min_intervals : pair -> ((string * int) * int) list
 (** Per (contention point, source pair), the smaller of the two runs'

@@ -26,6 +26,27 @@ type outcome = {
 
 let default_batch = 8
 
+module Options = struct
+  type t = {
+    seed : int64;
+    dual : bool;
+    max_cycles : int option;
+    jobs : int;
+    batch : int;
+    sinks : Telemetry.sink list;
+  }
+
+  let default =
+    {
+      seed = 1L;
+      dual = false;
+      max_cycles = None;
+      jobs = 1;
+      batch = default_batch;
+      sinks = [];
+    }
+end
+
 (* A generated candidate awaiting execution: its iteration number, the
    directed-mutation target captured at generation time (pre-mutation best
    interval included), and the testcase itself. *)
@@ -35,9 +56,16 @@ type candidate = {
   cand_tc : Testcase.t;
 }
 
-let run ?(seed = 1L) ?(dual = false) ?max_cycles ?(jobs = 1) ?(batch = default_batch)
-    cfg strategy ~iterations =
+let run ?(options = Options.default) cfg strategy ~iterations =
+  let { Options.seed; dual; max_cycles; jobs; batch; sinks } = options in
   if batch < 1 then invalid_arg "Fuzzer.run: batch must be >= 1";
+  if jobs < 1 then invalid_arg "Fuzzer.run: jobs must be >= 1";
+  (* With no sinks, no event is ever constructed: the telemetry layer costs
+     nothing on the hot path and the outcome is bit-identical to a run that
+     predates it (asserted in the tests). *)
+  let telemetry_on = sinks <> [] in
+  let emit ev = Telemetry.emit_all sinks ev in
+  let emit_opt = if telemetry_on then Some emit else None in
   let rng = Rng.create seed in
   let corpus = Corpus.create () in
   let mstate = Mutation.create_state () in
@@ -86,12 +114,19 @@ let run ?(seed = 1L) ?(dual = false) ?max_cycles ?(jobs = 1) ?(batch = default_b
   in
   (* Fold phase: absorb one executed candidate. Runs sequentially in
      candidate order, so coverage / corpus / detector / mutation-feedback
-     updates are identical for every worker count. *)
+     updates — and the telemetry events they emit — are identical for every
+     worker count. *)
   let fold cand pair =
     let iteration = cand.cand_iteration in
     let intervals = Executor.min_intervals pair in
     let added = Coverage.add_pair coverage pair in
-    if added > 0. then incr tcs_with_contention;
+    if added > 0. then begin
+      incr tcs_with_contention;
+      if telemetry_on then
+        emit
+          (Telemetry.Contention_triggered
+             { iteration; added; coverage = Coverage.total coverage })
+    end;
     if iteration = 20 then begin
       total_weight_20 := Coverage.total coverage;
       sv_weight_20 := Coverage.single_valid_weight coverage *. !total_weight_20
@@ -101,7 +136,15 @@ let run ?(seed = 1L) ?(dual = false) ?max_cycles ?(jobs = 1) ?(batch = default_b
     if n_findings > 0 then begin
       timing_diffs := !timing_diffs + n_findings;
       incr tcs_with_diffs;
-      reports := (iteration, report) :: !reports
+      reports := (iteration, report) :: !reports;
+      if telemetry_on then
+        emit
+          (Telemetry.Ccd_finding
+             {
+               iteration;
+               findings = n_findings;
+               total_delta = report.Detector.total_delta;
+             })
     end;
     (* Directed-mutation feedback: did the target interval shrink? *)
     (match cand.cand_target with
@@ -113,9 +156,21 @@ let run ?(seed = 1L) ?(dual = false) ?max_cycles ?(jobs = 1) ?(batch = default_b
           | None, Some _ -> true
           | _, None -> false
         in
-        Mutation.feedback mstate ~improved
+        let dir_before = mstate.Mutation.dir in
+        Mutation.feedback mstate ~improved;
+        if telemetry_on && mstate.Mutation.dir <> dir_before then
+          emit
+            (Telemetry.Mutation_flip
+               {
+                 iteration;
+                 direction =
+                   (match mstate.Mutation.dir with
+                   | Mutation.Grow -> "grow"
+                   | Mutation.Shrink -> "shrink");
+               })
     | None -> ());
-    if strategy.retention then ignore (Corpus.consider corpus cand.cand_tc ~intervals);
+    if strategy.retention then
+      ignore (Corpus.consider ?emit:emit_opt corpus cand.cand_tc ~intervals);
     series :=
       {
         iteration;
@@ -125,17 +180,49 @@ let run ?(seed = 1L) ?(dual = false) ?max_cycles ?(jobs = 1) ?(batch = default_b
       }
       :: !series
   in
+  let now () = if telemetry_on then Unix.gettimeofday () else 0. in
   let run_generations pool =
     let iteration = ref 0 in
+    let generation = ref 0 in
     while !iteration < iterations do
+      incr generation;
       let k = min batch (iterations - !iteration) in
+      if telemetry_on then
+        emit
+          (Telemetry.Generation_start
+             {
+               generation = !generation;
+               first_iteration = !iteration + 1;
+               size = k;
+             });
+      let t0 = now () in
       let candidates = List.init k (fun j -> generate (!iteration + j + 1)) in
+      let t1 = now () in
       let pairs =
-        Executor.execute_batch ?max_cycles ?pool cfg
+        Executor.execute_batch ?max_cycles ?pool ?emit:emit_opt cfg
           (List.map (fun c -> c.cand_tc) candidates)
       in
+      let t2 = now () in
       List.iter2 fold candidates pairs;
-      iteration := !iteration + k
+      iteration := !iteration + k;
+      if telemetry_on then begin
+        let t3 = now () in
+        let timing phase seconds =
+          emit (Telemetry.Phase_timing { generation = !generation; phase; seconds })
+        in
+        timing Telemetry.Generate (t1 -. t0);
+        timing Telemetry.Execute (t2 -. t1);
+        timing Telemetry.Feedback (t3 -. t2);
+        emit
+          (Telemetry.Generation_end
+             {
+               generation = !generation;
+               iterations_done = !iteration;
+               coverage = Coverage.total coverage;
+               timing_diffs = !timing_diffs;
+               corpus_size = Corpus.size corpus;
+             })
+      end
     done
   in
   if jobs > 1 then
@@ -151,3 +238,33 @@ let run ?(seed = 1L) ?(dual = false) ?max_cycles ?(jobs = 1) ?(batch = default_b
       (if !total_weight_20 = 0. then 0. else !sv_weight_20 /. !total_weight_20);
     reports = List.rev !reports;
   }
+
+let run_legacy ?(seed = 1L) ?(dual = false) ?max_cycles ?(jobs = 1)
+    ?(batch = default_batch) cfg strategy ~iterations =
+  run
+    ~options:{ Options.seed; dual; max_cycles; jobs; batch; sinks = [] }
+    cfg strategy ~iterations
+
+let json_of_outcome o : Json.t =
+  Json.Obj
+    [
+      ("final_coverage", Json.Float o.final_coverage);
+      ("final_timing_diffs", Json.Int o.final_timing_diffs);
+      ("testcases_with_diffs", Json.Int o.testcases_with_diffs);
+      ( "contentions_triggered_testcases",
+        Json.Int o.contentions_triggered_testcases );
+      ("single_valid_share_first20", Json.Float o.single_valid_share_first20);
+      ( "findings",
+        Json.List
+          (List.map
+             (fun (iteration, (r : Detector.report)) ->
+               Json.Obj
+                 [
+                   ("iteration", Json.Int iteration);
+                   ("findings", Json.Int (List.length r.Detector.findings));
+                   ("raw_timing_diffs", Json.Int r.raw_timing_diffs);
+                   ("total_delta", Json.Int r.total_delta);
+                   ("diverged", Json.Bool r.diverged);
+                 ])
+             o.reports) );
+    ]

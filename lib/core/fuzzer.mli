@@ -22,7 +22,14 @@
     updates sequentially in candidate order. Selection and directed
     mutation therefore react to feedback at generation granularity, and the
     outcome is a pure function of (seed, strategy, iterations, batch) —
-    bit-identical for every [jobs] value. *)
+    bit-identical for every [jobs] value.
+
+    {b Telemetry.} When {!Options.t.sinks} is non-empty, the campaign
+    streams {!Telemetry.event}s: generation boundaries and phase timings
+    from this module, per-testcase execution events from {!Executor},
+    retention/eviction events from {!Corpus}. All events except the
+    wall-clock {!Telemetry.event.Phase_timing} are deterministic and
+    independent of [jobs]; with no sinks nothing is constructed at all. *)
 
 type strategy = {
   retention : bool;
@@ -55,7 +62,40 @@ type outcome = {
 val default_batch : int
 (** Generation size used when [batch] is not given (8). *)
 
+(** Campaign configuration. Build one with a record update of
+    {!Options.default} so adding fields stays source-compatible:
+    [{ Options.default with seed = 7L; jobs = 4 }]. *)
+module Options : sig
+  type t = {
+    seed : int64;  (** RNG seed (default [1L]) *)
+    dual : bool;  (** dual-core testcases, Figure 4b (default [false]) *)
+    max_cycles : int option;  (** per-run cycle budget override *)
+    jobs : int;
+        (** worker-pool size; wall-clock only, never the outcome
+            (default 1) *)
+    batch : int;
+        (** generation size; {e does} shape the campaign — feedback lands
+            at generation boundaries — keep it fixed when comparing runs
+            (default {!default_batch}) *)
+    sinks : Telemetry.sink list;
+        (** telemetry destinations (default [[]]: zero overhead) *)
+  }
+
+  val default : t
+end
+
 val run :
+  ?options:Options.t ->
+  Sonar_uarch.Config.t ->
+  strategy ->
+  iterations:int ->
+  outcome
+(** Run a campaign. The outcome is a pure function of
+    ([options.seed], [strategy], [iterations], [options.batch], and the
+    DUT config); sinks observe the campaign but never influence it.
+    @raise Invalid_argument when [options.batch] or [options.jobs] < 1. *)
+
+val run_legacy :
   ?seed:int64 ->
   ?dual:bool ->
   ?max_cycles:int ->
@@ -65,8 +105,14 @@ val run :
   strategy ->
   iterations:int ->
   outcome
-(** [jobs] (default 1) sizes the worker pool candidates execute on; it
-    affects wall-clock only, never the outcome. [batch] (default
-    {!default_batch}) is the generation size and {e does} shape the
-    campaign (feedback lands at generation boundaries); keep it fixed when
-    comparing runs. *)
+[@@ocaml.deprecated
+  "use Fuzzer.run ?options with a Fuzzer.Options record instead; \
+   run_legacy will be removed in the next release"]
+(** The pre-{!Options} optional-argument signature, kept for one release as
+    a thin wrapper over {!run} (no telemetry). Equivalent defaults;
+    bit-identical outcomes. *)
+
+val json_of_outcome : outcome -> Json.t
+(** Stable JSON form of an outcome (the CLI's [--format json] document;
+    the per-iteration series is omitted — use a telemetry trace for
+    per-iteration data). *)

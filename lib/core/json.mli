@@ -1,0 +1,40 @@
+(** Minimal JSON document model shared by every machine-readable output of
+    the framework: the telemetry JSONL trace writer, the CLI's
+    [--format json] mode, and the bench harness's result files.
+
+    Serialisation is deterministic: object fields print in the order given,
+    floats use a shortest round-trip decimal form, and there is no
+    whitespace — so two structurally equal documents serialise to the same
+    bytes (the property the trace-determinism tests assert). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+(** Raised by {!of_string} with a position-annotated message. *)
+
+val to_string : t -> string
+(** Compact (whitespace-free) serialisation. Non-finite floats serialise as
+    [null] (JSON has no representation for them). *)
+
+val of_string : string -> t
+(** Parse one JSON document; trailing non-whitespace raises
+    {!Parse_error}. Numbers without [.], [e] or [E] parse as [Int]. *)
+
+val member : string -> t -> t
+(** Field lookup in an [Obj] ([Null] when absent or not an object). *)
+
+val to_int : t -> int
+(** @raise Parse_error when the value is not an [Int]. *)
+
+val to_float : t -> float
+(** Accepts [Float] and [Int]. @raise Parse_error otherwise. *)
+
+val to_str : t -> string
+(** @raise Parse_error when the value is not a [String]. *)

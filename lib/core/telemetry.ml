@@ -1,0 +1,363 @@
+type phase = Generate | Execute | Feedback
+
+let phase_name = function
+  | Generate -> "generate"
+  | Execute -> "execute"
+  | Feedback -> "feedback"
+
+let phase_of_name = function
+  | "generate" -> Some Generate
+  | "execute" -> Some Execute
+  | "feedback" -> Some Feedback
+  | _ -> None
+
+type event =
+  | Generation_start of { generation : int; first_iteration : int; size : int }
+  | Testcase_executed of { testcase_id : int; cycles0 : int; cycles1 : int }
+  | Contention_triggered of { iteration : int; added : float; coverage : float }
+  | Ccd_finding of { iteration : int; findings : int; total_delta : int }
+  | Corpus_retained of { testcase_id : int; corpus_size : int }
+  | Corpus_evicted of { testcase_id : int; corpus_size : int }
+  | Mutation_flip of { iteration : int; direction : string }
+  | Generation_end of {
+      generation : int;
+      iterations_done : int;
+      coverage : float;
+      timing_diffs : int;
+      corpus_size : int;
+    }
+  | Phase_timing of { generation : int; phase : phase; seconds : float }
+
+type sink = {
+  emit : event -> unit;
+  close : unit -> unit;
+}
+
+let null = { emit = ignore; close = ignore }
+
+let make ?(close = ignore) emit = { emit; close }
+
+let close s = s.close ()
+
+let emit_all sinks ev = List.iter (fun s -> s.emit ev) sinks
+
+(* ------------------------------------------------------------------ *)
+(* JSON encoding (schema in DESIGN.md §9).                             *)
+
+let json_of_event ev : Json.t =
+  let obj name fields = Json.Obj (("event", Json.String name) :: fields) in
+  match ev with
+  | Generation_start e ->
+      obj "generation_start"
+        [
+          ("generation", Json.Int e.generation);
+          ("first_iteration", Json.Int e.first_iteration);
+          ("size", Json.Int e.size);
+        ]
+  | Testcase_executed e ->
+      obj "testcase_executed"
+        [
+          ("testcase_id", Json.Int e.testcase_id);
+          ("cycles0", Json.Int e.cycles0);
+          ("cycles1", Json.Int e.cycles1);
+        ]
+  | Contention_triggered e ->
+      obj "contention_triggered"
+        [
+          ("iteration", Json.Int e.iteration);
+          ("added", Json.Float e.added);
+          ("coverage", Json.Float e.coverage);
+        ]
+  | Ccd_finding e ->
+      obj "ccd_finding"
+        [
+          ("iteration", Json.Int e.iteration);
+          ("findings", Json.Int e.findings);
+          ("total_delta", Json.Int e.total_delta);
+        ]
+  | Corpus_retained e ->
+      obj "corpus_retained"
+        [
+          ("testcase_id", Json.Int e.testcase_id);
+          ("corpus_size", Json.Int e.corpus_size);
+        ]
+  | Corpus_evicted e ->
+      obj "corpus_evicted"
+        [
+          ("testcase_id", Json.Int e.testcase_id);
+          ("corpus_size", Json.Int e.corpus_size);
+        ]
+  | Mutation_flip e ->
+      obj "mutation_flip"
+        [
+          ("iteration", Json.Int e.iteration);
+          ("direction", Json.String e.direction);
+        ]
+  | Generation_end e ->
+      obj "generation_end"
+        [
+          ("generation", Json.Int e.generation);
+          ("iterations_done", Json.Int e.iterations_done);
+          ("coverage", Json.Float e.coverage);
+          ("timing_diffs", Json.Int e.timing_diffs);
+          ("corpus_size", Json.Int e.corpus_size);
+        ]
+  | Phase_timing e ->
+      obj "phase_timing"
+        [
+          ("generation", Json.Int e.generation);
+          ("phase", Json.String (phase_name e.phase));
+          ("seconds", Json.Float e.seconds);
+        ]
+
+let event_of_json doc =
+  let open Json in
+  try
+    let i k = to_int (member k doc) in
+    let f k = to_float (member k doc) in
+    let s k = to_str (member k doc) in
+    match to_str (member "event" doc) with
+    | "generation_start" ->
+        Some
+          (Generation_start
+             {
+               generation = i "generation";
+               first_iteration = i "first_iteration";
+               size = i "size";
+             })
+    | "testcase_executed" ->
+        Some
+          (Testcase_executed
+             {
+               testcase_id = i "testcase_id";
+               cycles0 = i "cycles0";
+               cycles1 = i "cycles1";
+             })
+    | "contention_triggered" ->
+        Some
+          (Contention_triggered
+             { iteration = i "iteration"; added = f "added"; coverage = f "coverage" })
+    | "ccd_finding" ->
+        Some
+          (Ccd_finding
+             {
+               iteration = i "iteration";
+               findings = i "findings";
+               total_delta = i "total_delta";
+             })
+    | "corpus_retained" ->
+        Some
+          (Corpus_retained
+             { testcase_id = i "testcase_id"; corpus_size = i "corpus_size" })
+    | "corpus_evicted" ->
+        Some
+          (Corpus_evicted
+             { testcase_id = i "testcase_id"; corpus_size = i "corpus_size" })
+    | "mutation_flip" ->
+        Some (Mutation_flip { iteration = i "iteration"; direction = s "direction" })
+    | "generation_end" ->
+        Some
+          (Generation_end
+             {
+               generation = i "generation";
+               iterations_done = i "iterations_done";
+               coverage = f "coverage";
+               timing_diffs = i "timing_diffs";
+               corpus_size = i "corpus_size";
+             })
+    | "phase_timing" -> (
+        match phase_of_name (s "phase") with
+        | Some phase ->
+            Some
+              (Phase_timing
+                 { generation = i "generation"; phase; seconds = f "seconds" })
+        | None -> None)
+    | _ -> None
+  with Parse_error _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* JSONL trace writer.                                                 *)
+
+let jsonl ?(timings = false) write_line =
+  make (fun ev ->
+      match ev with
+      | Phase_timing _ when not timings -> ()
+      | ev -> write_line (Json.to_string (json_of_event ev)))
+
+let jsonl_file ?timings path =
+  let oc = open_out path in
+  let closed = ref false in
+  let line s =
+    output_string oc s;
+    output_char oc '\n'
+  in
+  let inner = jsonl ?timings line in
+  {
+    emit = inner.emit;
+    close =
+      (fun () ->
+        if not !closed then begin
+          closed := true;
+          close_out oc
+        end);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* In-memory aggregation.                                              *)
+
+module Metrics = struct
+  type snapshot = {
+    events : int;
+    generations : int;
+    testcases : int;
+    contention_testcases : int;
+    ccd_findings : int;
+    finding_testcases : int;
+    retained : int;
+    evicted : int;
+    direction_flips : int;
+    coverage : float;
+    corpus_size : int;
+    generate_seconds : float;
+    execute_seconds : float;
+    feedback_seconds : float;
+    wall_seconds : float;
+    events_per_second : float;
+    testcases_per_second : float;
+    pool_utilization : float;
+  }
+
+  let to_json s : Json.t =
+    Json.Obj
+      [
+        ("events", Json.Int s.events);
+        ("generations", Json.Int s.generations);
+        ("testcases", Json.Int s.testcases);
+        ("contention_testcases", Json.Int s.contention_testcases);
+        ("ccd_findings", Json.Int s.ccd_findings);
+        ("finding_testcases", Json.Int s.finding_testcases);
+        ("retained", Json.Int s.retained);
+        ("evicted", Json.Int s.evicted);
+        ("direction_flips", Json.Int s.direction_flips);
+        ("coverage", Json.Float s.coverage);
+        ("corpus_size", Json.Int s.corpus_size);
+        ("generate_seconds", Json.Float s.generate_seconds);
+        ("execute_seconds", Json.Float s.execute_seconds);
+        ("feedback_seconds", Json.Float s.feedback_seconds);
+        ("wall_seconds", Json.Float s.wall_seconds);
+        ("events_per_second", Json.Float s.events_per_second);
+        ("testcases_per_second", Json.Float s.testcases_per_second);
+        ("pool_utilization", Json.Float s.pool_utilization);
+      ]
+
+  let pp fmt s =
+    Format.fprintf fmt
+      "@[<v>campaign metrics:@,\
+      \  testcases        %d (%.1f/s)@,\
+      \  generations      %d@,\
+      \  coverage         %.0f netlist points (%d testcases contributed)@,\
+      \  CCD findings     %d in %d testcases@,\
+      \  corpus           %d entries (%d retained, %d evicted)@,\
+      \  direction flips  %d@,\
+      \  phase wall-clock generate %.3fs | execute %.3fs | feedback %.3fs@,\
+      \  total wall-clock %.3fs (pool utilization %.0f%%, %.0f events/s)@]"
+      s.testcases s.testcases_per_second s.generations s.coverage
+      s.contention_testcases s.ccd_findings s.finding_testcases s.corpus_size
+      s.retained s.evicted s.direction_flips s.generate_seconds
+      s.execute_seconds s.feedback_seconds s.wall_seconds
+      (100. *. s.pool_utilization)
+      s.events_per_second
+end
+
+let aggregator () =
+  let t0 = Unix.gettimeofday () in
+  let events = ref 0 in
+  let generations = ref 0 in
+  let testcases = ref 0 in
+  let contention_testcases = ref 0 in
+  let ccd_findings = ref 0 in
+  let finding_testcases = ref 0 in
+  let retained = ref 0 in
+  let evicted = ref 0 in
+  let flips = ref 0 in
+  let coverage = ref 0. in
+  let corpus_size = ref 0 in
+  let gen_s = ref 0. and exec_s = ref 0. and fb_s = ref 0. in
+  let emit ev =
+    incr events;
+    match ev with
+    | Generation_start _ -> ()
+    | Testcase_executed _ -> incr testcases
+    | Contention_triggered e ->
+        incr contention_testcases;
+        coverage := e.coverage
+    | Ccd_finding e ->
+        ccd_findings := !ccd_findings + e.findings;
+        incr finding_testcases
+    | Corpus_retained e ->
+        incr retained;
+        corpus_size := e.corpus_size
+    | Corpus_evicted _ -> incr evicted
+    | Mutation_flip _ -> incr flips
+    | Generation_end e ->
+        incr generations;
+        coverage := e.coverage;
+        corpus_size := e.corpus_size
+    | Phase_timing e -> (
+        match e.phase with
+        | Generate -> gen_s := !gen_s +. e.seconds
+        | Execute -> exec_s := !exec_s +. e.seconds
+        | Feedback -> fb_s := !fb_s +. e.seconds)
+  in
+  let snapshot () =
+    let wall = Float.max 1e-9 (Unix.gettimeofday () -. t0) in
+    {
+      Metrics.events = !events;
+      generations = !generations;
+      testcases = !testcases;
+      contention_testcases = !contention_testcases;
+      ccd_findings = !ccd_findings;
+      finding_testcases = !finding_testcases;
+      retained = !retained;
+      evicted = !evicted;
+      direction_flips = !flips;
+      coverage = !coverage;
+      corpus_size = !corpus_size;
+      generate_seconds = !gen_s;
+      execute_seconds = !exec_s;
+      feedback_seconds = !fb_s;
+      wall_seconds = wall;
+      events_per_second = float_of_int !events /. wall;
+      testcases_per_second = float_of_int !testcases /. wall;
+      pool_utilization = !exec_s /. wall;
+    }
+  in
+  (make emit, snapshot)
+
+(* ------------------------------------------------------------------ *)
+(* Periodic human progress reporter.                                   *)
+
+let progress ?(out = stderr) ~every ~total () =
+  if every < 1 then invalid_arg "Telemetry.progress: every must be >= 1";
+  let t0 = Unix.gettimeofday () in
+  let testcases = ref 0 in
+  let timing_diffs = ref 0 in
+  let last_report = ref 0 in
+  let emit = function
+    | Testcase_executed _ -> incr testcases
+    | Generation_end e ->
+        timing_diffs := e.timing_diffs;
+        if !testcases - !last_report >= every || e.iterations_done >= total
+        then begin
+          last_report := !testcases;
+          let dt = Float.max 1e-9 (Unix.gettimeofday () -. t0) in
+          Printf.fprintf out
+            "[sonar] %6d/%d testcases | coverage %8.0f | timing diffs %5d | \
+             corpus %3d | %.1f tc/s\n\
+             %!"
+            e.iterations_done total e.coverage !timing_diffs e.corpus_size
+            (float_of_int !testcases /. dt)
+        end
+    | _ -> ()
+  in
+  make emit

@@ -1,0 +1,125 @@
+(** Structured campaign telemetry: typed events emitted by the fuzzing
+    pipeline ({!Fuzzer}, {!Executor}, {!Corpus}), delivered to pluggable
+    sinks.
+
+    {b Determinism.} Every event except {!event.Phase_timing} is a pure
+    function of (seed, strategy, iterations, batch): events from pool
+    workers are never emitted concurrently — the executor materialises them
+    when it assembles results in submission order, and the fuzzer folds
+    feedback sequentially — so a trace is bit-identical for every [jobs]
+    value. [Phase_timing] carries wall-clock seconds and is therefore
+    excluded from the JSONL trace unless explicitly requested.
+
+    {b Threading.} Sinks are invoked only from the domain that called
+    {!Fuzzer.run}; they need not be thread-safe.
+
+    {b Overhead.} The fuzzer skips event construction entirely when the
+    sink list is empty, so a campaign with no telemetry pays nothing on the
+    hot path. *)
+
+type phase = Generate | Execute | Feedback
+
+val phase_name : phase -> string
+(** "generate" / "execute" / "feedback". *)
+
+type event =
+  | Generation_start of { generation : int; first_iteration : int; size : int }
+      (** A generation of [size] candidates begins. *)
+  | Testcase_executed of { testcase_id : int; cycles0 : int; cycles1 : int }
+      (** One testcase ran under both secrets; per-run simulated cycles. *)
+  | Contention_triggered of { iteration : int; added : float; coverage : float }
+      (** The testcase contributed new contention coverage. *)
+  | Ccd_finding of { iteration : int; findings : int; total_delta : int }
+      (** The detector reported secret-reflecting timing differences. *)
+  | Corpus_retained of { testcase_id : int; corpus_size : int }
+      (** The corpus kept a testcase (it improved some best interval). *)
+  | Corpus_evicted of { testcase_id : int; corpus_size : int }
+      (** The ring buffer overwrote its oldest entry. *)
+  | Mutation_flip of { iteration : int; direction : string }
+      (** Directed mutation reversed course ("grow" or "shrink"). *)
+  | Generation_end of {
+      generation : int;
+      iterations_done : int;
+      coverage : float;
+      timing_diffs : int;
+      corpus_size : int;
+    }  (** All candidates of a generation executed and folded. *)
+  | Phase_timing of { generation : int; phase : phase; seconds : float }
+      (** Wall-clock spent in one phase of a generation.
+          {b Not deterministic}; excluded from traces by default. *)
+
+type sink = {
+  emit : event -> unit;
+  close : unit -> unit;  (** flush and release resources; idempotent. *)
+}
+
+val null : sink
+(** Discards everything. *)
+
+val make : ?close:(unit -> unit) -> (event -> unit) -> sink
+
+val close : sink -> unit
+
+val emit_all : sink list -> event -> unit
+
+(** {1 JSON encoding}
+
+    One object per event: [{"event":"<name>", ...payload}]. The schema is
+    documented in DESIGN.md §9 and is shared with the CLI's
+    [--format json] output via {!Json}. *)
+
+val json_of_event : event -> Json.t
+
+val event_of_json : Json.t -> event option
+(** Inverse of {!json_of_event}; [None] on unknown or malformed
+    documents. *)
+
+val jsonl : ?timings:bool -> (string -> unit) -> sink
+(** A trace writer calling the function once per event with one compact
+    JSON document (no trailing newline). [timings] (default [false])
+    includes the non-deterministic [Phase_timing] events. *)
+
+val jsonl_file : ?timings:bool -> string -> sink
+(** {!jsonl} over a freshly created file, one event per line; the sink's
+    [close] closes the file. *)
+
+(** {1 In-memory aggregation} *)
+
+module Metrics : sig
+  type snapshot = {
+    events : int;  (** total events seen, all kinds *)
+    generations : int;
+    testcases : int;
+    contention_testcases : int;
+    ccd_findings : int;  (** findings summed over reports *)
+    finding_testcases : int;  (** testcases with at least one finding *)
+    retained : int;
+    evicted : int;
+    direction_flips : int;
+    coverage : float;  (** latest cumulative contention coverage *)
+    corpus_size : int;
+    generate_seconds : float;
+    execute_seconds : float;
+    feedback_seconds : float;
+    wall_seconds : float;  (** since the aggregator was created *)
+    events_per_second : float;
+    testcases_per_second : float;
+    pool_utilization : float;
+        (** share of campaign wall-clock spent in the execute phase (the
+            part the worker pool parallelises) *)
+  }
+
+  val to_json : snapshot -> Json.t
+
+  val pp : Format.formatter -> snapshot -> unit
+end
+
+val aggregator : unit -> sink * (unit -> Metrics.snapshot)
+(** A counting sink plus its snapshot function (callable at any time,
+    including mid-campaign). *)
+
+val progress : ?out:out_channel -> every:int -> total:int -> unit -> sink
+(** A human progress reporter (default on [stderr]): after each generation
+    that completes at least [every] testcases since the last report, prints
+    one line with testcases done / [total], coverage, timing differences,
+    corpus size, and testcases/sec. *)

@@ -280,8 +280,9 @@ let test_coverage_components () =
 
 let test_fuzzer_deterministic () =
   let run () =
-    Fuzzer.run ~seed:17L Sonar_uarch.Config.nutshell Fuzzer.full_strategy
-      ~iterations:15
+    Fuzzer.run
+      ~options:{ Fuzzer.Options.default with seed = 17L }
+      Sonar_uarch.Config.nutshell Fuzzer.full_strategy ~iterations:15
   in
   let a = run () and b = run () in
   checkf "same coverage" a.Fuzzer.final_coverage b.Fuzzer.final_coverage;
@@ -291,8 +292,9 @@ let test_fuzzer_jobs_bit_identical () =
   (* The whole outcome — series, coverage, reports — must not depend on the
      worker count, only on (seed, strategy, iterations, batch). *)
   let run jobs =
-    Fuzzer.run ~seed:17L ~jobs Sonar_uarch.Config.nutshell Fuzzer.full_strategy
-      ~iterations:24
+    Fuzzer.run
+      ~options:{ Fuzzer.Options.default with seed = 17L; jobs }
+      Sonar_uarch.Config.nutshell Fuzzer.full_strategy ~iterations:24
   in
   let sequential = run 1 and parallel = run 4 in
   checkb "bit-identical outcome for jobs=1 vs jobs=4" true
@@ -339,7 +341,9 @@ let test_domain_pool_basics () =
 
 let test_fuzzer_series_monotonic () =
   let o =
-    Fuzzer.run ~seed:18L Sonar_uarch.Config.boom Fuzzer.full_strategy ~iterations:25
+    Fuzzer.run
+      ~options:{ Fuzzer.Options.default with seed = 18L }
+      Sonar_uarch.Config.boom Fuzzer.full_strategy ~iterations:25
   in
   checki "one point per iteration" 25 (List.length o.Fuzzer.series);
   let rec mono = function
@@ -351,7 +355,9 @@ let test_fuzzer_series_monotonic () =
 
 let test_fuzzer_finds_diffs () =
   let o =
-    Fuzzer.run ~seed:19L Sonar_uarch.Config.boom Fuzzer.full_strategy ~iterations:40
+    Fuzzer.run
+      ~options:{ Fuzzer.Options.default with seed = 19L }
+      Sonar_uarch.Config.boom Fuzzer.full_strategy ~iterations:40
   in
   checkb "finds timing differences" true (o.Fuzzer.final_timing_diffs > 0);
   checkb "keeps reports" true (o.reports <> [])

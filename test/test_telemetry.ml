@@ -1,0 +1,317 @@
+(* Tests for the campaign telemetry subsystem: the Json document model,
+   event JSON round-tripping, sink aggregation against a hand-run campaign,
+   trace determinism across worker counts, and the Options-record API
+   (equivalence with the deprecated legacy signature, null-sink
+   non-interference). *)
+
+open Sonar
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+let checks = Alcotest.(check string)
+let checkf = Alcotest.(check (float 0.0001))
+
+(* --- Json --- *)
+
+let test_json_print () =
+  checks "compact object" {|{"a":1,"b":[true,null,"x"]}|}
+    (Json.to_string
+       (Json.Obj
+          [ ("a", Json.Int 1); ("b", Json.List [ Json.Bool true; Json.Null; Json.String "x" ]) ]));
+  checks "integral float keeps a decimal" "2.0" (Json.to_string (Json.Float 2.));
+  checks "negative int" "-17" (Json.to_string (Json.Int (-17)));
+  checks "escapes" {|"a\"b\\c\nd"|} (Json.to_string (Json.String "a\"b\\c\nd"));
+  checks "non-finite floats are null" "null" (Json.to_string (Json.Float Float.nan))
+
+let test_json_parse () =
+  checkb "object round-trip" true
+    (Json.of_string {| { "x" : [1, 2.5, "s", false] , "y": null } |}
+    = Json.Obj
+        [
+          ( "x",
+            Json.List [ Json.Int 1; Json.Float 2.5; Json.String "s"; Json.Bool false ]
+          );
+          ("y", Json.Null);
+        ]);
+  checkb "exponent parses as float" true
+    (match Json.of_string "1e3" with Json.Float f -> f = 1000. | _ -> false);
+  checkb "string escapes" true (Json.of_string {|"aA\n"|} = Json.String "aA\n");
+  checkb "trailing garbage rejected" true
+    (match Json.of_string "1 x" with exception Json.Parse_error _ -> true | _ -> false);
+  checkb "unterminated string rejected" true
+    (match Json.of_string {|"abc|} with exception Json.Parse_error _ -> true | _ -> false)
+
+let test_json_print_parse_identity () =
+  let docs =
+    [
+      Json.Null;
+      Json.Obj [];
+      Json.List [];
+      Json.Obj
+        [
+          ("n", Json.Int 42);
+          ("f", Json.Float 3.25);
+          ("deep", Json.Obj [ ("l", Json.List [ Json.List [ Json.Int 1 ] ]) ]);
+          ("s", Json.String "tab\there");
+        ];
+    ]
+  in
+  List.iter
+    (fun doc ->
+      checkb "parse (print doc) = doc" true (Json.of_string (Json.to_string doc) = doc))
+    docs
+
+let test_json_member () =
+  let doc = Json.of_string {|{"a":{"b":7}}|} in
+  checki "nested member" 7 Json.(to_int (member "b" (member "a" doc)));
+  checkb "missing member is Null" true (Json.member "zzz" doc = Json.Null);
+  checkf "to_float accepts ints" 7. Json.(to_float (member "b" (member "a" doc)))
+
+(* --- event JSON round-trip --- *)
+
+let sample_events =
+  [
+    Telemetry.Generation_start { generation = 1; first_iteration = 1; size = 8 };
+    Telemetry.Testcase_executed { testcase_id = 3; cycles0 = 220; cycles1 = 224 };
+    Telemetry.Contention_triggered { iteration = 3; added = 12.5; coverage = 40.25 };
+    Telemetry.Ccd_finding { iteration = 4; findings = 2; total_delta = -3 };
+    Telemetry.Corpus_retained { testcase_id = 4; corpus_size = 2 };
+    Telemetry.Corpus_evicted { testcase_id = 1; corpus_size = 256 };
+    Telemetry.Mutation_flip { iteration = 5; direction = "shrink" };
+    Telemetry.Generation_end
+      {
+        generation = 1;
+        iterations_done = 8;
+        coverage = 40.25;
+        timing_diffs = 2;
+        corpus_size = 2;
+      };
+    Telemetry.Phase_timing
+      { generation = 1; phase = Telemetry.Execute; seconds = 0.125 };
+  ]
+
+let test_event_json_roundtrip () =
+  List.iter
+    (fun ev ->
+      match Telemetry.event_of_json (Telemetry.json_of_event ev) with
+      | Some ev' -> checkb "decode (encode ev) = ev" true (ev = ev')
+      | None -> Alcotest.fail "event failed to decode")
+    sample_events;
+  checkb "unknown event name rejected" true
+    (Telemetry.event_of_json (Json.of_string {|{"event":"martian"}|}) = None);
+  checkb "malformed payload rejected" true
+    (Telemetry.event_of_json (Json.of_string {|{"event":"ccd_finding"}|}) = None)
+
+(* --- campaign helpers --- *)
+
+let nutshell = Sonar_uarch.Config.nutshell
+
+let campaign ?(sinks = []) ?(jobs = 1) ~iterations () =
+  Fuzzer.run
+    ~options:{ Fuzzer.Options.default with seed = 23L; jobs; sinks }
+    nutshell Fuzzer.full_strategy ~iterations
+
+(* --- aggregator vs a hand-run campaign --- *)
+
+let test_aggregator_matches_outcome () =
+  let sink, snap = Telemetry.aggregator () in
+  let o = campaign ~sinks:[ sink ] ~iterations:30 () in
+  let m = snap () in
+  checki "one executed event per iteration" 30 m.Telemetry.Metrics.testcases;
+  checki "generations = ceil(30/8)" 4 m.generations;
+  checkf "coverage tracks the outcome" o.Fuzzer.final_coverage m.coverage;
+  checki "findings sum matches" o.final_timing_diffs m.ccd_findings;
+  checki "finding testcases match" o.testcases_with_diffs m.finding_testcases;
+  checki "contention testcases match" o.contentions_triggered_testcases
+    m.contention_testcases;
+  checki "corpus size matches the final series point"
+    (List.nth o.series 29).Fuzzer.corpus_size m.corpus_size;
+  checkb "retention happened" true (m.retained > 0);
+  checkb "phase timings accumulated" true
+    (m.generate_seconds >= 0. && m.execute_seconds > 0. && m.feedback_seconds > 0.);
+  checkb "events/sec positive" true (m.events_per_second > 0.)
+
+(* --- JSONL trace: parser round-trip and jobs-determinism --- *)
+
+let trace_lines ~jobs ~iterations =
+  let lines = ref [] in
+  let sink = Telemetry.jsonl (fun s -> lines := s :: !lines) in
+  ignore (campaign ~sinks:[ sink ] ~jobs ~iterations ());
+  List.rev !lines
+
+let test_jsonl_roundtrip () =
+  let lines = trace_lines ~jobs:1 ~iterations:16 in
+  checkb "trace not empty" true (lines <> []);
+  List.iter
+    (fun line ->
+      match Telemetry.event_of_json (Json.of_string line) with
+      | Some ev ->
+          checks "re-encode reproduces the line byte-for-byte" line
+            (Json.to_string (Telemetry.json_of_event ev))
+      | None -> Alcotest.fail ("line did not decode to an event: " ^ line))
+    lines;
+  checkb "trace contains a generation_end" true
+    (List.exists
+       (fun l ->
+         match Telemetry.event_of_json (Json.of_string l) with
+         | Some (Telemetry.Generation_end _) -> true
+         | _ -> false)
+       lines)
+
+let test_trace_jobs_deterministic () =
+  (* The acceptance property: the JSONL trace is byte-identical for jobs=1
+     vs jobs=2 at fixed seed/batch (Phase_timing is excluded by default). *)
+  let a = trace_lines ~jobs:1 ~iterations:24 in
+  let b = trace_lines ~jobs:2 ~iterations:24 in
+  checki "same event count" (List.length a) (List.length b);
+  checks "byte-identical traces" (String.concat "\n" a) (String.concat "\n" b)
+
+let test_jsonl_timings_opt_in () =
+  let count_timings ~timings =
+    let n = ref 0 in
+    let sink =
+      Telemetry.jsonl ~timings (fun s ->
+          if
+            match Telemetry.event_of_json (Json.of_string s) with
+            | Some (Telemetry.Phase_timing _) -> true
+            | _ -> false
+          then incr n)
+    in
+    ignore (campaign ~sinks:[ sink ] ~iterations:8 ());
+    !n
+  in
+  checki "timings excluded by default" 0 (count_timings ~timings:false);
+  checki "3 phase timings per generation when opted in" 3
+    (count_timings ~timings:true)
+
+let test_jsonl_file_writes () =
+  let path = Filename.temp_file "sonar_trace" ".jsonl" in
+  let sink = Telemetry.jsonl_file path in
+  ignore (campaign ~sinks:[ sink ] ~iterations:8 ());
+  Telemetry.close sink;
+  Telemetry.close sink;
+  (* close is idempotent *)
+  let ic = open_in path in
+  let n = ref 0 in
+  (try
+     while true do
+       let line = input_line ic in
+       checkb "line parses" true (Json.of_string line <> Json.Null);
+       incr n
+     done
+   with End_of_file -> ());
+  close_in ic;
+  Sys.remove path;
+  checkb "several events on disk" true (!n > 8)
+
+(* --- corpus events --- *)
+
+let test_corpus_events () =
+  let events = ref [] in
+  let emit ev = events := ev :: !events in
+  let c = Corpus.create ~max_entries:2 () in
+  let tc i = { (Testcase.random (Rng.create 1L) ~id:0 ~dual:false) with Testcase.id = i } in
+  ignore (Corpus.consider ~emit c (tc 1) ~intervals:[ (("p", 0), 9) ]);
+  ignore (Corpus.consider ~emit c (tc 2) ~intervals:[ (("p", 0), 8) ]);
+  ignore (Corpus.consider ~emit c (tc 3) ~intervals:[ (("p", 0), 9) ]);
+  (* no improvement: no events *)
+  ignore (Corpus.consider ~emit c (tc 4) ~intervals:[ (("p", 0), 7) ]);
+  let retained =
+    List.filter_map
+      (function Telemetry.Corpus_retained e -> Some e.testcase_id | _ -> None)
+      (List.rev !events)
+  in
+  let evicted =
+    List.filter_map
+      (function Telemetry.Corpus_evicted e -> Some e.testcase_id | _ -> None)
+      (List.rev !events)
+  in
+  Alcotest.(check (list int)) "retained ids in order" [ 1; 2; 4 ] retained;
+  Alcotest.(check (list int)) "oldest entry evicted" [ 1 ] evicted
+
+(* --- progress sink --- *)
+
+let test_progress_reports () =
+  let path = Filename.temp_file "sonar_progress" ".txt" in
+  let oc = open_out path in
+  let sink = Telemetry.progress ~out:oc ~every:8 ~total:16 () in
+  ignore (campaign ~sinks:[ sink ] ~iterations:16 ());
+  close_out oc;
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let contents = really_input_string ic len in
+  close_in ic;
+  Sys.remove path;
+  checkb "progress lines written" true
+    (String.length contents > 0
+    && String.length contents - String.length (String.concat "" (String.split_on_char '\n' contents)) >= 2)
+
+(* --- Options record API --- *)
+
+let test_options_default_matches_legacy () =
+  (* The deprecated optional-argument wrapper and the Options record must
+     produce bit-for-bit identical outcomes. *)
+  let via_options =
+    Fuzzer.run
+      ~options:{ Fuzzer.Options.default with seed = 17L; batch = 5 }
+      nutshell Fuzzer.full_strategy ~iterations:15
+  in
+  let via_legacy =
+    (Fuzzer.run_legacy [@alert "-deprecated"]) ~seed:17L ~batch:5 nutshell
+      Fuzzer.full_strategy ~iterations:15
+  in
+  checkb "bit-identical outcomes" true (via_options = via_legacy)
+
+let test_null_sink_not_observable () =
+  (* Attaching sinks (null or real) must not perturb the campaign. *)
+  let bare = campaign ~iterations:16 () in
+  let with_null = campaign ~sinks:[ Telemetry.null ] ~iterations:16 () in
+  let agg, _ = Telemetry.aggregator () in
+  let with_agg = campaign ~sinks:[ agg; Telemetry.null ] ~iterations:16 () in
+  checkb "null sink: identical outcome" true (bare = with_null);
+  checkb "aggregator: identical outcome" true (bare = with_agg)
+
+let test_options_validation () =
+  let run ~batch ~jobs () =
+    Fuzzer.run
+      ~options:{ Fuzzer.Options.default with batch; jobs }
+      nutshell Fuzzer.full_strategy ~iterations:4
+  in
+  let bad f = match f () with exception Invalid_argument _ -> true | _ -> false in
+  checkb "batch < 1 rejected" true (bad (run ~batch:0 ~jobs:1));
+  checkb "jobs < 1 rejected" true (bad (run ~batch:8 ~jobs:0))
+
+let () =
+  Alcotest.run "sonar_telemetry"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "printing" `Quick test_json_print;
+          Alcotest.test_case "parsing" `Quick test_json_parse;
+          Alcotest.test_case "print/parse identity" `Quick
+            test_json_print_parse_identity;
+          Alcotest.test_case "member access" `Quick test_json_member;
+        ] );
+      ( "events",
+        [ Alcotest.test_case "json round-trip" `Quick test_event_json_roundtrip ] );
+      ( "sinks",
+        [
+          Alcotest.test_case "aggregator matches campaign" `Quick
+            test_aggregator_matches_outcome;
+          Alcotest.test_case "jsonl round-trips" `Quick test_jsonl_roundtrip;
+          Alcotest.test_case "trace identical across jobs" `Quick
+            test_trace_jobs_deterministic;
+          Alcotest.test_case "timings are opt-in" `Quick test_jsonl_timings_opt_in;
+          Alcotest.test_case "jsonl file writer" `Quick test_jsonl_file_writes;
+          Alcotest.test_case "corpus events" `Quick test_corpus_events;
+          Alcotest.test_case "progress reporter" `Quick test_progress_reports;
+        ] );
+      ( "options",
+        [
+          Alcotest.test_case "record matches legacy signature" `Quick
+            test_options_default_matches_legacy;
+          Alcotest.test_case "sinks never perturb outcomes" `Quick
+            test_null_sink_not_observable;
+          Alcotest.test_case "validation" `Quick test_options_validation;
+        ] );
+    ]
