@@ -162,7 +162,39 @@ let table2 () =
   |> List.iter print_endline;
   Printf.printf
     "(paper: compile +43%%/+45%%; new verilog 14%%/20%%; sim slowdown \
-     26%%/38%%; fuzzing 239/h BOOM, 7596/h NutShell)\n"
+     26%%/38%%; fuzzing 239/h BOOM, 7596/h NutShell)\n";
+  (* Span-level breakdown of the compile-stage numbers above: profile one
+     representative pipeline pass sequentially (the profiler hooks feed a
+     single-domain span recorder, so this must not run under [pmap]). *)
+  let obs_sink, obs_snapshot = Sonar.Telemetry.observatory () in
+  let recorder = Sonar.Telemetry.Span.recorder obs_sink.Sonar.Telemetry.emit in
+  let hook = Some (Sonar.Telemetry.Span.hook recorder) in
+  Sonar_ir.Analysis.set_profiler hook;
+  Sonar_ir.Instrument.set_profiler hook;
+  Sonar_rtlsim.Engine.set_profiler hook;
+  Fun.protect
+    ~finally:(fun () ->
+      Sonar_ir.Analysis.set_profiler None;
+      Sonar_ir.Instrument.set_profiler None;
+      Sonar_rtlsim.Engine.set_profiler None)
+    (fun () ->
+      let cfg = Sonar_uarch.Config.nutshell in
+      let circuit =
+        Sonar_dut.Netlist_gen.generate ~scale:(if smoke then 0.02 else 0.2)
+          ~pad:false cfg
+      in
+      ignore (Sonar_ir.Analysis.summarize circuit);
+      let instr = Sonar_ir.Instrument.instrument circuit in
+      List.iter
+        (fun m -> ignore (Sonar_rtlsim.Engine.compile m))
+        instr.Sonar_ir.Instrument.circuit.Sonar_ir.Circuit.modules);
+  let snap = obs_snapshot () in
+  print_endline "\ncompile-stage span tree (NutShell, reduced scale):";
+  let rec render indent (n : Sonar.Telemetry.Observatory.span_node) =
+    Printf.printf "%s%s  %dx  %.3fs\n" indent n.span_name n.calls n.seconds;
+    List.iter (render (indent ^ "  ")) n.children
+  in
+  List.iter (render "  ") snap.Sonar.Telemetry.Observatory.span_tree
 
 (* ------------------------------------------------------------------ *)
 (* Figure 8 (+ §8.3.2): Sonar vs random testing.                       *)

@@ -2,12 +2,15 @@
 
      sonar analyze  --dut boom            static identification & filtering
      sonar fuzz     --dut boom -n 500     guided fuzzing campaign
+     sonar report   trace.jsonl           offline report from a JSONL trace
      sonar channels [--id S5]             measure the Table 3 channels
      sonar attack   --id S11 -t 10        Meltdown-style PoC
 
    Machine-readable output: `--format json` (analyze/fuzz/channels) emits
    one stable JSON document on stdout; `sonar fuzz --trace FILE` streams
-   the campaign's telemetry events as JSONL (schema: DESIGN.md §9). *)
+   the campaign's telemetry events as JSONL (schema: DESIGN.md §9), and
+   `sonar report` turns such a trace into a markdown/HTML document plus a
+   JSON sidecar. *)
 
 open Cmdliner
 module Json = Sonar.Json
@@ -34,6 +37,18 @@ let unknown_channel id =
   Printf.eprintf "unknown channel id %s; valid ids: %s\n" id
     (String.concat ", " (List.map (fun c -> c.Sonar.Channels.id) Sonar.Channels.all));
   1
+
+(* Install the profiling hooks of every instrumented pipeline stage, feeding
+   one span recorder; returns the uninstaller. *)
+let install_profiler emit =
+  let recorder = Telemetry.Span.recorder emit in
+  let set h =
+    Sonar_ir.Analysis.set_profiler h;
+    Sonar_ir.Instrument.set_profiler h;
+    Sonar_rtlsim.Engine.set_profiler h
+  in
+  set (Some (Telemetry.Span.hook recorder));
+  fun () -> set None
 
 (* ------------------------------------------------------------------ *)
 (* analyze                                                             *)
@@ -63,22 +78,52 @@ let json_of_summary dut (s : Sonar_ir.Analysis.summary) : Json.t =
              s.per_component) );
     ]
 
-let analyze dut format =
+let pp_span_tree ppf tree =
+  let rec render indent (n : Telemetry.Observatory.span_node) =
+    Format.fprintf ppf "%s%s  %dx  %.3fs@." indent n.span_name n.calls n.seconds;
+    List.iter (render (indent ^ "  ")) n.children
+  in
+  List.iter (render "") tree
+
+let analyze dut format profile =
   match config_of_name dut with
   | Error (`Msg m) -> prerr_endline m; 1
   | Ok cfg ->
-      let circuit = Sonar_dut.Netlist_gen.generate ~pad:false cfg in
-      let summary = Sonar_ir.Analysis.summarize circuit in
+      let obs = if profile then Some (Telemetry.observatory ()) else None in
+      let uninstall =
+        match obs with
+        | Some (sink, _) -> install_profiler sink.Telemetry.emit
+        | None -> Fun.id
+      in
+      let summary =
+        Fun.protect ~finally:uninstall @@ fun () ->
+        let circuit = Sonar_dut.Netlist_gen.generate ~pad:false cfg in
+        Sonar_ir.Analysis.summarize circuit
+      in
+      let snapshot = Option.map (fun (_, snap) -> snap ()) obs in
       (match format with
-      | `Text -> Format.printf "%a@." Sonar_ir.Analysis.pp_summary summary
-      | `Json -> print_endline (Json.to_string (json_of_summary dut summary)));
+      | `Text ->
+          Format.printf "%a@." Sonar_ir.Analysis.pp_summary summary;
+          Option.iter
+            (fun (s : Telemetry.Observatory.snapshot) ->
+              Format.printf "@.profiling spans:@.%a" pp_span_tree s.span_tree)
+            snapshot
+      | `Json ->
+          let doc =
+            match (json_of_summary dut summary, snapshot) with
+            | Json.Obj fields, Some s ->
+                Json.Obj
+                  (fields @ [ ("profile", Telemetry.Observatory.to_json s) ])
+            | doc, _ -> doc
+          in
+          print_endline (Json.to_string doc));
       0
 
 (* ------------------------------------------------------------------ *)
 (* fuzz                                                                *)
 
-let fuzz dut iterations seed random_mode dual jobs batch trace stats progress
-    format =
+let fuzz dut iterations seed random_mode dual jobs batch trace timings stats
+    progress format =
   match config_of_name dut with
   | Error (`Msg m) -> prerr_endline m; 1
   | Ok cfg ->
@@ -89,15 +134,19 @@ let fuzz dut iterations seed random_mode dual jobs batch trace stats progress
       let jobs =
         match jobs with Some j -> max 1 j | None -> Sonar.Domain_pool.default_jobs ()
       in
-      let trace_sink = Option.map (fun path -> Telemetry.jsonl_file path) trace in
+      let trace_sink =
+        Option.map (fun path -> Telemetry.jsonl_file ~timings path) trace
+      in
       let agg = if stats then Some (Telemetry.aggregator ()) else None in
+      let obs = if stats then Some (Telemetry.observatory ()) else None in
       let progress_sink =
         Option.map
           (fun every -> Telemetry.progress ~every:(max 1 every) ~total:iterations ())
           progress
       in
       let sinks =
-        List.filter_map Fun.id [ trace_sink; Option.map fst agg; progress_sink ]
+        List.filter_map Fun.id
+          [ trace_sink; Option.map fst agg; Option.map fst obs; progress_sink ]
       in
       let options =
         {
@@ -109,9 +158,16 @@ let fuzz dut iterations seed random_mode dual jobs batch trace stats progress
           sinks;
         }
       in
-      let o = Sonar.Fuzzer.run ~options cfg strategy ~iterations in
-      List.iter Telemetry.close sinks;
+      (* Close the sinks however the campaign ends ([Telemetry.close] is
+         idempotent, so the fuzzer's own close-on-raise path composes): a
+         crash mid-campaign still leaves a flushed, parseable trace. *)
+      let o =
+        Fun.protect
+          ~finally:(fun () -> List.iter Telemetry.close sinks)
+          (fun () -> Sonar.Fuzzer.run ~options cfg strategy ~iterations)
+      in
       let snapshot = Option.map (fun (_, snap) -> snap ()) agg in
+      let observatory = Option.map (fun (_, snap) -> snap ()) obs in
       (match format with
       | `Json ->
           let meta =
@@ -137,7 +193,13 @@ let fuzz dut iterations seed random_mode dual jobs batch trace stats progress
             | Some s -> [ ("metrics", Telemetry.Metrics.to_json s) ]
             | None -> []
           in
-          print_endline (Json.to_string (Json.Obj (meta @ outcome_fields @ metrics)))
+          let obs_fields =
+            match observatory with
+            | Some s -> [ ("observatory", Telemetry.Observatory.to_json s) ]
+            | None -> []
+          in
+          print_endline
+            (Json.to_string (Json.Obj (meta @ outcome_fields @ metrics @ obs_fields)))
       | `Text ->
           Format.printf
             "%s, %d iterations (%s):@.  contention coverage %.0f netlist points@.  \
@@ -154,7 +216,45 @@ let fuzz dut iterations seed random_mode dual jobs batch trace stats progress
             o.reports;
           Option.iter
             (fun s -> Format.printf "@.%a@." Telemetry.Metrics.pp s)
-            snapshot);
+            snapshot;
+          Option.iter
+            (fun s ->
+              Format.printf "@.%a@." (fun ppf -> Telemetry.Observatory.pp ppf) s)
+            observatory);
+      0
+
+(* ------------------------------------------------------------------ *)
+(* report                                                              *)
+
+let report trace top format output sidecar no_sidecar =
+  match Sonar.Report.load trace with
+  | Error msg ->
+      Printf.eprintf "sonar report: %s\n" msg;
+      1
+  | Ok r ->
+      if Sonar.Report.skipped r > 0 then
+        Printf.eprintf "sonar report: skipped %d unparseable line(s) of %s\n"
+          (Sonar.Report.skipped r) trace;
+      let doc =
+        match format with
+        | `Markdown -> Sonar.Report.to_markdown ~top r
+        | `Html -> Sonar.Report.to_html ~top r
+      in
+      (match output with
+      | None -> print_string doc
+      | Some path ->
+          let oc = open_out path in
+          output_string oc doc;
+          close_out oc);
+      if not no_sidecar then begin
+        let path =
+          match sidecar with Some p -> p | None -> trace ^ ".report.json"
+        in
+        let oc = open_out path in
+        output_string oc (Json.to_string (Sonar.Report.to_json r));
+        output_char oc '\n';
+        close_out oc
+      end;
       0
 
 (* ------------------------------------------------------------------ *)
@@ -213,7 +313,17 @@ let attack id trials bits =
 
 let analyze_cmd =
   let doc = "identify and filter contention points in a DUT netlist" in
-  Cmd.v (Cmd.info "analyze" ~doc) Term.(const analyze $ dut_arg $ format_arg)
+  let profile =
+    Arg.(
+      value
+      & flag
+      & info [ "profile" ]
+          ~doc:
+            "Record profiling spans around the analysis pipeline \
+             (identification, counting, filtering) and print the span tree.")
+  in
+  Cmd.v (Cmd.info "analyze" ~doc)
+    Term.(const analyze $ dut_arg $ format_arg $ profile)
 
 let fuzz_cmd =
   let doc = "run a contention-guided fuzzing campaign" in
@@ -256,6 +366,17 @@ let fuzz_cmd =
              (one event per line; deterministic for a fixed seed/batch, \
              independent of --jobs).")
   in
+  let timings =
+    Arg.(
+      value
+      & flag
+      & info [ "timings" ]
+          ~doc:
+            "Include the wall-clock event class (phase timings and \
+             profiling spans) in the $(b,--trace) file. These events are \
+             not deterministic, so traces written with this flag are not \
+             byte-comparable across runs.")
+  in
   let stats =
     Arg.(
       value
@@ -263,7 +384,9 @@ let fuzz_cmd =
       & info [ "stats" ]
           ~doc:
             "Aggregate telemetry in memory and report campaign metrics \
-             (counters, per-phase wall-clock, events/sec) at the end.")
+             (counters, per-phase wall-clock, events/sec) plus the \
+             contention observatory (interval histograms, coverage \
+             heatmap, profiling span tree) at the end.")
   in
   let progress =
     Arg.(
@@ -275,7 +398,65 @@ let fuzz_cmd =
   Cmd.v (Cmd.info "fuzz" ~doc)
     Term.(
       const fuzz $ dut_arg $ iters $ seed $ random_mode $ dual $ jobs $ batch
-      $ trace $ stats $ progress $ format_arg)
+      $ trace $ timings $ stats $ progress $ format_arg)
+
+let report_cmd =
+  let doc = "build an offline report from a JSONL telemetry trace" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Replays a trace written by $(b,sonar fuzz --trace FILE) into a \
+         self-contained document: campaign summary, coverage over \
+         iterations, top contention points by minimum observed interval \
+         (with sparkline histograms), per-component coverage heatmap, \
+         profiling span tree (when the trace was written with \
+         $(b,--timings)), and CCD finding summaries.";
+      `P
+        "A machine-readable JSON sidecar is written next to the trace \
+         ($(i,TRACE).report.json) unless $(b,--no-sidecar) is given.";
+    ]
+  in
+  let trace =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"TRACE" ~doc:"JSONL telemetry trace to report on.")
+  in
+  let top =
+    Arg.(
+      value
+      & opt int 10
+      & info [ "top" ] ~docv:"N"
+          ~doc:"Contention points shown in the histogram table.")
+  in
+  let format =
+    Arg.(
+      value
+      & opt
+          (enum [ ("md", `Markdown); ("markdown", `Markdown); ("html", `Html) ])
+          `Markdown
+      & info [ "format" ] ~docv:"FMT" ~doc:"Report format: $(b,md) or $(b,html).")
+  in
+  let output =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Write the report to $(docv) instead of stdout.")
+  in
+  let sidecar =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "sidecar" ] ~docv:"FILE"
+          ~doc:"JSON sidecar path (default: $(i,TRACE).report.json).")
+  in
+  let no_sidecar =
+    Arg.(value & flag & info [ "no-sidecar" ] ~doc:"Do not write the JSON sidecar.")
+  in
+  Cmd.v (Cmd.info "report" ~doc ~man)
+    Term.(const report $ trace $ top $ format $ output $ sidecar $ no_sidecar)
 
 let channels_cmd =
   let doc = "measure the catalogued side channels (Table 3)" in
@@ -296,4 +477,4 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group (Cmd.info "sonar" ~version:"1.0.0" ~doc)
-          [ analyze_cmd; fuzz_cmd; channels_cmd; attack_cmd ]))
+          [ analyze_cmd; fuzz_cmd; report_cmd; channels_cmd; attack_cmd ]))

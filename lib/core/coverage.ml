@@ -99,3 +99,8 @@ let per_component t =
   List.map
     (fun c -> (c, Option.value ~default:0. (Hashtbl.find_opt t.comp_weight c)))
     Sonar_ir.Component.all
+
+let heatmap t =
+  List.map
+    (fun (c, w) -> (Sonar_ir.Component.to_string c, w))
+    (per_component t)

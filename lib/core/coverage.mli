@@ -32,3 +32,10 @@ val single_valid_weight : t -> float
 (** Share of {!total} located at single-valid points (Figure 9). *)
 
 val per_component : t -> (Sonar_ir.Component.t * float) list
+(** Cumulative weight credited to each netlist component, in
+    {!Sonar_ir.Component.all} order (zero for untouched components). *)
+
+val heatmap : t -> (string * float) list
+(** {!per_component} with component names as strings — the payload of the
+    {!Telemetry.event.Coverage_heatmap} trace event. Deterministic order
+    and contents for a fixed campaign prefix. *)

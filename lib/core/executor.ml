@@ -26,54 +26,12 @@ let execute ?max_cycles ?emit cfg tc =
   (match emit with Some emit -> emit (executed_event tc pair) | None -> ());
   pair
 
-let execute_batch ?max_cycles ?pool ?emit cfg tcs =
-  match pool with
-  | None -> List.map (execute ?max_cycles ?emit cfg) tcs
-  | Some pool ->
-      (* Fan both secret-runs of every testcase across the pool, then
-         assemble pairs in submission order. [Machine.run] allocates all of
-         its mutable state (cores, memsys, cpoint registries) per call, so
-         the runs are independent; see domain_pool.mli. Telemetry is only
-         ever emitted here, on the awaiting domain, per candidate in
-         submission order — never from a worker — so traces are identical
-         to the sequential path's. *)
-      let futures =
-        List.map
-          (fun tc ->
-            let run secret () =
-              Machine.run ?max_cycles cfg (Testcase.materialize tc ~secret)
-            in
-            (tc, Domain_pool.submit pool (run 0), Domain_pool.submit pool (run 1)))
-          tcs
-      in
-      List.map
-        (fun (tc, f0, f1) ->
-          let pair =
-            { run0 = Domain_pool.await f0; run1 = Domain_pool.await f1 }
-          in
-          (match emit with
-          | Some emit -> emit (executed_event tc pair)
-          | None -> ());
-          pair)
-        futures
-
-(* Monomorphic comparators for the sorted outputs below. The orderings are
-   identical to polymorphic [compare] on the same tuples (byte-lexicographic
-   strings, constructor order for [Cpoint.kind]), but dispatch directly
-   instead of walking the structure generically; table keys are unique, so
-   comparing the keys alone is a total order on the entries. *)
+(* Monomorphic comparator for the sorted [min_intervals] output below. The
+   ordering is identical to polymorphic [compare] on the same tuples
+   (byte-lexicographic strings), but dispatches directly; table keys are
+   unique, so comparing the keys alone is a total order on the entries. *)
 let compare_interval ((na, pa), _) ((nb, pb), _) =
   match String.compare na nb with 0 -> Int.compare pa pb | c -> c
-
-let kind_rank = function Cpoint.Volatile -> 0 | Cpoint.Persistent -> 1
-
-let compare_triggered ((na, ka, sa), _) ((nb, kb, sb), _) =
-  match String.compare na nb with
-  | 0 -> (
-      match Int.compare (kind_rank ka) (kind_rank kb) with
-      | 0 -> Int.compare sa sb
-      | c -> c)
-  | c -> c
 
 let min_intervals pair =
   (* Keyed per (point, source pair); tuple keys avoid allocating a
@@ -102,6 +60,67 @@ let min_intervals pair =
   absorb pair.run1;
   Hashtbl.fold (fun name v acc -> (name, v) :: acc) table []
   |> List.sort compare_interval
+
+let observe_intervals hists pair =
+  List.iter
+    (fun ((point, src_pair), v) ->
+      Telemetry.Histogram.observe hists ~point ~src_pair v)
+    (min_intervals pair)
+
+let execute_batch ?max_cycles ?pool ?emit ?hists cfg tcs =
+  let observe pair =
+    match hists with Some h -> observe_intervals h pair | None -> ()
+  in
+  match pool with
+  | None ->
+      List.map
+        (fun tc ->
+          let pair = execute ?max_cycles ?emit cfg tc in
+          observe pair;
+          pair)
+        tcs
+  | Some pool ->
+      (* Fan both secret-runs of every testcase across the pool, then
+         assemble pairs in submission order. [Machine.run] allocates all of
+         its mutable state (cores, memsys, cpoint registries) per call, so
+         the runs are independent; see domain_pool.mli. Telemetry is only
+         ever emitted here, on the awaiting domain, per candidate in
+         submission order — never from a worker — so traces are identical
+         to the sequential path's. *)
+      let futures =
+        List.map
+          (fun tc ->
+            let run secret () =
+              Machine.run ?max_cycles cfg (Testcase.materialize tc ~secret)
+            in
+            (tc, Domain_pool.submit pool (run 0), Domain_pool.submit pool (run 1)))
+          tcs
+      in
+      List.map
+        (fun (tc, f0, f1) ->
+          let pair =
+            { run0 = Domain_pool.await f0; run1 = Domain_pool.await f1 }
+          in
+          (match emit with
+          | Some emit -> emit (executed_event tc pair)
+          | None -> ());
+          observe pair;
+          pair)
+        futures
+
+(* Monomorphic comparator for [triggered]: identical ordering to polymorphic
+   [compare] on the same tuples (byte-lexicographic strings, constructor
+   order for [Cpoint.kind]), but dispatches directly; table keys are unique,
+   so comparing the keys alone is a total order on the entries. *)
+let kind_rank = function Cpoint.Volatile -> 0 | Cpoint.Persistent -> 1
+
+let compare_triggered ((na, ka, sa), _) ((nb, kb, sb), _) =
+  match String.compare na nb with
+  | 0 -> (
+      match Int.compare (kind_rank ka) (kind_rank kb) with
+      | 0 -> Int.compare sa sb
+      | c -> c)
+  | c -> c
 
 let triggered pair =
   let size (r : Machine.result) =

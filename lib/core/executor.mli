@@ -30,6 +30,7 @@ val execute_batch :
   ?max_cycles:int ->
   ?pool:Domain_pool.t ->
   ?emit:(Telemetry.event -> unit) ->
+  ?hists:Telemetry.Histogram.registry ->
   Sonar_uarch.Config.t ->
   Testcase.t list ->
   pair list
@@ -39,7 +40,11 @@ val execute_batch :
     [Machine.run] allocates all of its mutable state per call, so the runs
     share nothing. [emit] is invoked only from the calling domain, one
     {!Telemetry.event.Testcase_executed} per testcase in input order —
-    identical for every pool size. *)
+    identical for every pool size. [hists] accumulates each pair's
+    {!min_intervals} into the observatory's per-(point, source-pair)
+    histogram registry, likewise on the calling domain in input order, so
+    the resulting distributions — and the trace events flushed from them —
+    are independent of the pool size. *)
 
 val min_intervals : pair -> ((string * int) * int) list
 (** Per (contention point, source pair), the smaller of the two runs'

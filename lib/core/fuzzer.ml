@@ -66,6 +66,17 @@ let run ?(options = Options.default) cfg strategy ~iterations =
   let telemetry_on = sinks <> [] in
   let emit ev = Telemetry.emit_all sinks ev in
   let emit_opt = if telemetry_on then Some emit else None in
+  (* Observatory state: per-(point, source-pair) interval histograms filled
+     by the executor, flushed as interval_histogram events at each
+     generation end. Profiling spans bracket the pipeline stages; both are
+     created only when someone is listening. *)
+  let hists = if telemetry_on then Some (Telemetry.Histogram.registry ()) else None in
+  let span =
+    if telemetry_on then
+      let recorder = Telemetry.Span.recorder emit in
+      fun name -> Telemetry.Span.enter recorder name
+    else fun _ () -> ()
+  in
   let rng = Rng.create seed in
   let corpus = Corpus.create () in
   let mstate = Mutation.create_state () in
@@ -182,6 +193,7 @@ let run ?(options = Options.default) cfg strategy ~iterations =
   in
   let now () = if telemetry_on then Unix.gettimeofday () else 0. in
   let run_generations pool =
+    let end_campaign = span "campaign" in
     let iteration = ref 0 in
     let generation = ref 0 in
     while !iteration < iterations do
@@ -195,15 +207,22 @@ let run ?(options = Options.default) cfg strategy ~iterations =
                first_iteration = !iteration + 1;
                size = k;
              });
+      let end_generation = span "generation" in
       let t0 = now () in
+      let end_generate = span "generate" in
       let candidates = List.init k (fun j -> generate (!iteration + j + 1)) in
+      end_generate ();
       let t1 = now () in
+      let end_execute = span "execute" in
       let pairs =
-        Executor.execute_batch ?max_cycles ?pool ?emit:emit_opt cfg
+        Executor.execute_batch ?max_cycles ?pool ?emit:emit_opt ?hists cfg
           (List.map (fun c -> c.cand_tc) candidates)
       in
+      end_execute ();
       let t2 = now () in
+      let end_feedback = span "feedback" in
       List.iter2 fold candidates pairs;
+      end_feedback ();
       iteration := !iteration + k;
       if telemetry_on then begin
         let t3 = now () in
@@ -213,6 +232,13 @@ let run ?(options = Options.default) cfg strategy ~iterations =
         timing Telemetry.Generate (t1 -. t0);
         timing Telemetry.Execute (t2 -. t1);
         timing Telemetry.Feedback (t3 -. t2);
+        Option.iter
+          (fun reg ->
+            Telemetry.flush_histograms reg ~generation:!generation emit)
+          hists;
+        emit
+          (Telemetry.Coverage_heatmap
+             { generation = !generation; components = Coverage.heatmap coverage });
         emit
           (Telemetry.Generation_end
              {
@@ -222,12 +248,23 @@ let run ?(options = Options.default) cfg strategy ~iterations =
                timing_diffs = !timing_diffs;
                corpus_size = Corpus.size corpus;
              })
-      end
-    done
+      end;
+      end_generation ()
+    done;
+    end_campaign ()
   in
-  if jobs > 1 then
-    Domain_pool.with_pool ~jobs (fun pool -> run_generations (Some pool))
-  else run_generations None;
+  (* Exception safety: a crashing DUT (or sink) must still leave attached
+     trace files flushed and parseable, so close every sink before
+     re-raising. On the success path sinks stay open — callers may keep
+     streaming into them (and [Telemetry.close] is idempotent anyway). *)
+  (try
+     if jobs > 1 then
+       Domain_pool.with_pool ~jobs (fun pool -> run_generations (Some pool))
+     else run_generations None
+   with e ->
+     let bt = Printexc.get_raw_backtrace () in
+     List.iter (fun s -> try Telemetry.close s with _ -> ()) sinks;
+     Printexc.raise_with_backtrace e bt);
   {
     series = List.rev !series;
     final_coverage = Coverage.total coverage;
@@ -238,12 +275,6 @@ let run ?(options = Options.default) cfg strategy ~iterations =
       (if !total_weight_20 = 0. then 0. else !sv_weight_20 /. !total_weight_20);
     reports = List.rev !reports;
   }
-
-let run_legacy ?(seed = 1L) ?(dual = false) ?max_cycles ?(jobs = 1)
-    ?(batch = default_batch) cfg strategy ~iterations =
-  run
-    ~options:{ Options.seed; dual; max_cycles; jobs; batch; sinks = [] }
-    cfg strategy ~iterations
 
 let json_of_outcome o : Json.t =
   Json.Obj

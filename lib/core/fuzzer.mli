@@ -25,11 +25,16 @@
     bit-identical for every [jobs] value.
 
     {b Telemetry.} When {!Options.t.sinks} is non-empty, the campaign
-    streams {!Telemetry.event}s: generation boundaries and phase timings
-    from this module, per-testcase execution events from {!Executor},
-    retention/eviction events from {!Corpus}. All events except the
-    wall-clock {!Telemetry.event.Phase_timing} are deterministic and
-    independent of [jobs]; with no sinks nothing is constructed at all. *)
+    streams {!Telemetry.event}s: generation boundaries, phase timings,
+    per-(point, source-pair) interval histograms, per-component coverage
+    heatmaps and profiling spans from this module, per-testcase execution
+    events from {!Executor}, retention/eviction events from {!Corpus}. All
+    events except the wall-clock class ({!Telemetry.is_timing_event}:
+    phase timings and spans) are deterministic and independent of [jobs];
+    with no sinks nothing is constructed at all. If the campaign raises
+    (a failing DUT, a crashing sink), every sink is closed before the
+    exception propagates, so an attached {!Telemetry.jsonl_file} trace is
+    flushed and stays parseable up to the point of failure. *)
 
 type strategy = {
   retention : bool;
@@ -94,23 +99,6 @@ val run :
     ([options.seed], [strategy], [iterations], [options.batch], and the
     DUT config); sinks observe the campaign but never influence it.
     @raise Invalid_argument when [options.batch] or [options.jobs] < 1. *)
-
-val run_legacy :
-  ?seed:int64 ->
-  ?dual:bool ->
-  ?max_cycles:int ->
-  ?jobs:int ->
-  ?batch:int ->
-  Sonar_uarch.Config.t ->
-  strategy ->
-  iterations:int ->
-  outcome
-[@@ocaml.deprecated
-  "use Fuzzer.run ?options with a Fuzzer.Options record instead; \
-   run_legacy will be removed in the next release"]
-(** The pre-{!Options} optional-argument signature, kept for one release as
-    a thin wrapper over {!run} (no telemetry). Equivalent defaults;
-    bit-identical outcomes. *)
 
 val json_of_outcome : outcome -> Json.t
 (** Stable JSON form of an outcome (the CLI's [--format json] document;

@@ -1,0 +1,487 @@
+(* Offline campaign reports: replay a JSONL telemetry trace into a
+   self-contained markdown or HTML document (plus a JSON form for
+   machines). Everything here is a pure fold over the event stream — the
+   report of a trace is as deterministic as the trace itself. *)
+
+type t = {
+  source : string;
+  events : int;
+  skipped : int;
+  testcases : int;
+  generations : int;
+  iterations_done : int;
+  final_coverage : float;
+  final_timing_diffs : int;
+  final_corpus_size : int;
+  contention_testcases : int;
+  retained : int;
+  evicted : int;
+  direction_flips : int;
+  phase_seconds : (string * float) list;
+  series : (int * int * float * int * int) list;
+      (* generation, iterations_done, coverage, timing_diffs, corpus_size *)
+  findings : (int * int * int) list;  (* iteration, findings, total_delta *)
+  observatory : Telemetry.Observatory.snapshot;
+}
+
+let of_events ?(source = "<events>") ?(skipped = 0) events =
+  let obs_sink, obs_snapshot = Telemetry.observatory () in
+  let n = ref 0 in
+  let testcases = ref 0 in
+  let generations = ref 0 in
+  let iterations_done = ref 0 in
+  let coverage = ref 0. in
+  let timing_diffs = ref 0 in
+  let corpus_size = ref 0 in
+  let contention = ref 0 in
+  let retained = ref 0 in
+  let evicted = ref 0 in
+  let flips = ref 0 in
+  let phases = Hashtbl.create 4 in
+  let series = ref [] in
+  let findings = ref [] in
+  List.iter
+    (fun ev ->
+      incr n;
+      obs_sink.Telemetry.emit ev;
+      match ev with
+      | Telemetry.Generation_start _ -> ()
+      | Telemetry.Testcase_executed _ -> incr testcases
+      | Telemetry.Contention_triggered e ->
+          incr contention;
+          coverage := e.coverage
+      | Telemetry.Ccd_finding e ->
+          findings := (e.iteration, e.findings, e.total_delta) :: !findings
+      | Telemetry.Corpus_retained e ->
+          incr retained;
+          corpus_size := e.corpus_size
+      | Telemetry.Corpus_evicted _ -> incr evicted
+      | Telemetry.Mutation_flip _ -> incr flips
+      | Telemetry.Generation_end e ->
+          incr generations;
+          iterations_done := e.iterations_done;
+          coverage := e.coverage;
+          timing_diffs := e.timing_diffs;
+          corpus_size := e.corpus_size;
+          series :=
+            (e.generation, e.iterations_done, e.coverage, e.timing_diffs,
+             e.corpus_size)
+            :: !series
+      | Telemetry.Phase_timing e ->
+          let k = Telemetry.phase_name e.phase in
+          Hashtbl.replace phases k
+            (e.seconds +. Option.value ~default:0. (Hashtbl.find_opt phases k))
+      | Telemetry.Interval_histogram _ | Telemetry.Coverage_heatmap _
+      | Telemetry.Span_begin _ | Telemetry.Span_end _ ->
+          (* absorbed by the observatory sink above *)
+          ())
+    events;
+  {
+    source;
+    events = !n;
+    skipped;
+    testcases = !testcases;
+    generations = !generations;
+    iterations_done = !iterations_done;
+    final_coverage = !coverage;
+    final_timing_diffs = !timing_diffs;
+    final_corpus_size = !corpus_size;
+    contention_testcases = !contention;
+    retained = !retained;
+    evicted = !evicted;
+    direction_flips = !flips;
+    phase_seconds =
+      List.filter_map
+        (fun k ->
+          Option.map (fun s -> (k, s)) (Hashtbl.find_opt phases k))
+        [ "generate"; "execute"; "feedback" ];
+    series = List.rev !series;
+    findings = List.rev !findings;
+    observatory = obs_snapshot ();
+  }
+
+let of_lines ?source lines =
+  let skipped = ref 0 in
+  let events =
+    List.filter_map
+      (fun line ->
+        if String.trim line = "" then None
+        else
+          match Telemetry.event_of_json (Json.of_string line) with
+          | Some ev -> Some ev
+          | None -> incr skipped; None
+          | exception Json.Parse_error _ -> incr skipped; None)
+      lines
+  in
+  of_events ?source ~skipped:!skipped events
+
+let load path =
+  match open_in path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+      let lines = ref [] in
+      (try
+         while true do
+           lines := input_line ic :: !lines
+         done
+       with End_of_file -> ());
+      close_in ic;
+      Ok (of_lines ~source:path (List.rev !lines))
+
+let skipped r = r.skipped
+let events r = r.events
+
+(* ------------------------------------------------------------------ *)
+(* Section model shared by the markdown and HTML renderers.            *)
+
+type block =
+  | Table of string list * string list list  (* headers, rows *)
+  | Pre of string
+  | Para of string
+
+type section = { title : string; blocks : block list }
+
+let spark_glyphs = [| "\xe2\x96\x81"; "\xe2\x96\x82"; "\xe2\x96\x83";
+                     "\xe2\x96\x84"; "\xe2\x96\x85"; "\xe2\x96\x86";
+                     "\xe2\x96\x87"; "\xe2\x96\x88" |]
+
+(* One glyph per value, scaled to the series maximum; long series are
+   resampled (by last-value-in-bin) to [width] columns. *)
+let spark_of_floats ?(width = 60) values =
+  match values with
+  | [] -> ""
+  | _ ->
+      let values =
+        let n = List.length values in
+        if n <= width then values
+        else
+          let arr = Array.of_list values in
+          List.init width (fun i -> arr.(((i + 1) * n / width) - 1))
+      in
+      let peak = List.fold_left Float.max 1e-9 values in
+      String.concat ""
+        (List.map
+           (fun v ->
+             let level =
+               int_of_float (Float.round (7. *. Float.max 0. v /. peak))
+             in
+             spark_glyphs.(max 0 (min 7 level)))
+           values)
+
+let bar ?(width = 24) ~peak v =
+  let n = int_of_float (Float.round (float_of_int width *. v /. Float.max peak 1e-9)) in
+  String.concat "" (List.init (max 0 (min width n)) (fun _ -> "\xe2\x96\x88"))
+
+let fmt_f = Printf.sprintf "%.1f"
+let fmt_s = Printf.sprintf "%.3fs"
+
+let summary_section r =
+  let rows =
+    [
+      [ "trace"; r.source ];
+      [ "events"; string_of_int r.events ];
+      [ "skipped lines"; string_of_int r.skipped ];
+      [ "testcases"; string_of_int r.testcases ];
+      [ "generations"; string_of_int r.generations ];
+      [ "iterations done"; string_of_int r.iterations_done ];
+      [ "contention coverage"; fmt_f r.final_coverage ];
+      [ "contention testcases"; string_of_int r.contention_testcases ];
+      [ "timing differences (CCD)"; string_of_int r.final_timing_diffs ];
+      [ "finding testcases"; string_of_int (List.length r.findings) ];
+      [ "corpus size"; string_of_int r.final_corpus_size ];
+      [ "retained / evicted";
+        Printf.sprintf "%d / %d" r.retained r.evicted ];
+      [ "direction flips"; string_of_int r.direction_flips ];
+    ]
+    @ List.map (fun (k, s) -> [ k ^ " wall-clock"; fmt_s s ]) r.phase_seconds
+  in
+  { title = "Summary"; blocks = [ Table ([ "metric"; "value" ], rows) ] }
+
+let coverage_section r =
+  if r.series = [] then
+    { title = "Coverage over iterations";
+      blocks = [ Para "No generation_end events in the trace." ] }
+  else
+    let spark =
+      spark_of_floats (List.map (fun (_, _, c, _, _) -> c) r.series)
+    in
+    let n = List.length r.series in
+    let sampled =
+      (* at most 16 table rows, evenly spaced, always including the last *)
+      let arr = Array.of_list r.series in
+      let k = min 16 n in
+      List.init k (fun i -> arr.(((i + 1) * n / k) - 1))
+    in
+    let rows =
+      List.map
+        (fun (g, it, cov, diffs, corpus) ->
+          [ string_of_int g; string_of_int it; fmt_f cov; string_of_int diffs;
+            string_of_int corpus ])
+        sampled
+    in
+    {
+      title = "Coverage over iterations";
+      blocks =
+        [
+          Pre ("coverage  " ^ spark);
+          Table
+            ( [ "generation"; "iterations"; "coverage"; "timing diffs";
+                "corpus" ],
+              rows );
+        ];
+    }
+
+let points_section ~top r =
+  let points = r.observatory.Telemetry.Observatory.points in
+  if points = [] then
+    { title = "Contention points by minimum interval";
+      blocks = [ Para "No interval_histogram events in the trace." ] }
+  else
+    let rows =
+      List.filteri (fun i _ -> i < top) points
+      |> List.map (fun (p : Telemetry.Observatory.point_hist) ->
+             let h = p.hist in
+             [
+               p.point;
+               string_of_int p.src_pair;
+               string_of_int (Telemetry.Histogram.total h);
+               string_of_int
+                 (Option.value ~default:0 (Telemetry.Histogram.min_value h));
+               string_of_int
+                 (Option.value ~default:0 (Telemetry.Histogram.max_value h));
+               Telemetry.Histogram.sparkline h;
+             ])
+    in
+    {
+      title = "Contention points by minimum interval";
+      blocks =
+        [
+          Para
+            (Printf.sprintf
+               "Top %d of %d (point, source-pair) interval distributions; \
+                buckets are powers of two, bars scale to the fullest bucket."
+               (min top (List.length points))
+               (List.length points));
+          Table
+            ([ "point"; "pair"; "n"; "min"; "max"; "distribution" ], rows);
+        ];
+    }
+
+let heatmap_section r =
+  let heatmap = r.observatory.Telemetry.Observatory.heatmap in
+  if heatmap = [] then
+    { title = "Coverage heatmap";
+      blocks = [ Para "No coverage_heatmap events in the trace." ] }
+  else
+    let peak = List.fold_left (fun a (_, w) -> Float.max a w) 0. heatmap in
+    let rows =
+      List.map
+        (fun (name, w) -> [ name; fmt_f w; bar ~peak w ])
+        heatmap
+    in
+    { title = "Coverage heatmap";
+      blocks = [ Table ([ "component"; "weight"; "share" ], rows) ] }
+
+let spans_section r =
+  let tree = r.observatory.Telemetry.Observatory.span_tree in
+  if tree = [] then
+    { title = "Profiling spans";
+      blocks =
+        [
+          Para
+            "No span events in the trace (spans are wall-clock data; rerun \
+             with the timings opt-in, e.g. `sonar fuzz --trace FILE \
+             --timings`).";
+        ] }
+  else
+    let buf = Buffer.create 256 in
+    let rec render indent (n : Telemetry.Observatory.span_node) =
+      Buffer.add_string buf
+        (Printf.sprintf "%-*s %6dx %10.3fs\n"
+           (max (String.length indent + String.length n.span_name) 30)
+           (indent ^ n.span_name)
+           n.calls n.seconds);
+      List.iter (render (indent ^ "  ")) n.children
+    in
+    List.iter (render "") tree;
+    { title = "Profiling spans"; blocks = [ Pre (Buffer.contents buf) ] }
+
+let findings_section r =
+  if r.findings = [] then
+    { title = "CCD findings";
+      blocks = [ Para "No secret-reflecting timing differences recorded." ] }
+  else
+    let total = List.fold_left (fun a (_, n, _) -> a + n) 0 r.findings in
+    let rows =
+      List.filteri (fun i _ -> i < 20) r.findings
+      |> List.map (fun (it, n, delta) ->
+             [ string_of_int it; string_of_int n; string_of_int delta ])
+    in
+    {
+      title = "CCD findings";
+      blocks =
+        [
+          Para
+            (Printf.sprintf
+               "%d findings across %d testcases (first %d testcases shown)."
+               total (List.length r.findings)
+               (min 20 (List.length r.findings)));
+          Table ([ "iteration"; "findings"; "total delta" ], rows);
+        ];
+    }
+
+let sections ?(top = 10) r =
+  [
+    summary_section r;
+    coverage_section r;
+    points_section ~top r;
+    heatmap_section r;
+    spans_section r;
+    findings_section r;
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Renderers.                                                          *)
+
+let render_markdown secs =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "# Sonar campaign report\n";
+  List.iter
+    (fun s ->
+      Buffer.add_string buf (Printf.sprintf "\n## %s\n\n" s.title);
+      List.iter
+        (function
+          | Para p -> Buffer.add_string buf (p ^ "\n\n")
+          | Pre p ->
+              Buffer.add_string buf "```\n";
+              Buffer.add_string buf p;
+              if p <> "" && p.[String.length p - 1] <> '\n' then
+                Buffer.add_char buf '\n';
+              Buffer.add_string buf "```\n\n"
+          | Table (headers, rows) ->
+              let line cells =
+                "| " ^ String.concat " | " cells ^ " |\n"
+              in
+              Buffer.add_string buf (line headers);
+              Buffer.add_string buf
+                (line (List.map (fun _ -> "---") headers));
+              List.iter (fun r -> Buffer.add_string buf (line r)) rows;
+              Buffer.add_char buf '\n')
+        s.blocks)
+    secs;
+  Buffer.contents buf
+
+let html_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let render_html secs =
+  let buf = Buffer.create 8192 in
+  Buffer.add_string buf
+    "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\n\
+     <title>Sonar campaign report</title>\n\
+     <style>\n\
+     body{font-family:system-ui,sans-serif;margin:2rem auto;max-width:60rem;\
+     padding:0 1rem;color:#1a1a1a}\n\
+     table{border-collapse:collapse;margin:0.5rem 0}\n\
+     th,td{border:1px solid #ccc;padding:0.25rem 0.6rem;text-align:left;\
+     font-variant-numeric:tabular-nums}\n\
+     th{background:#f2f2f2}\n\
+     pre{background:#f7f7f7;padding:0.75rem;overflow-x:auto}\n\
+     </style></head><body>\n<h1>Sonar campaign report</h1>\n";
+  List.iter
+    (fun s ->
+      Buffer.add_string buf
+        (Printf.sprintf "<h2>%s</h2>\n" (html_escape s.title));
+      List.iter
+        (function
+          | Para p ->
+              Buffer.add_string buf
+                (Printf.sprintf "<p>%s</p>\n" (html_escape p))
+          | Pre p ->
+              Buffer.add_string buf
+                (Printf.sprintf "<pre>%s</pre>\n" (html_escape p))
+          | Table (headers, rows) ->
+              Buffer.add_string buf "<table><thead><tr>";
+              List.iter
+                (fun h ->
+                  Buffer.add_string buf
+                    (Printf.sprintf "<th>%s</th>" (html_escape h)))
+                headers;
+              Buffer.add_string buf "</tr></thead><tbody>\n";
+              List.iter
+                (fun r ->
+                  Buffer.add_string buf "<tr>";
+                  List.iter
+                    (fun c ->
+                      Buffer.add_string buf
+                        (Printf.sprintf "<td>%s</td>" (html_escape c)))
+                    r;
+                  Buffer.add_string buf "</tr>\n")
+                rows;
+              Buffer.add_string buf "</tbody></table>\n")
+        s.blocks)
+    secs;
+  Buffer.add_string buf "</body></html>\n";
+  Buffer.contents buf
+
+let to_markdown ?top r = render_markdown (sections ?top r)
+let to_html ?top r = render_html (sections ?top r)
+
+let to_json r : Json.t =
+  Json.Obj
+    [
+      ( "summary",
+        Json.Obj
+          [
+            ("source", Json.String r.source);
+            ("events", Json.Int r.events);
+            ("skipped", Json.Int r.skipped);
+            ("testcases", Json.Int r.testcases);
+            ("generations", Json.Int r.generations);
+            ("iterations_done", Json.Int r.iterations_done);
+            ("final_coverage", Json.Float r.final_coverage);
+            ("final_timing_diffs", Json.Int r.final_timing_diffs);
+            ("final_corpus_size", Json.Int r.final_corpus_size);
+            ("contention_testcases", Json.Int r.contention_testcases);
+            ("retained", Json.Int r.retained);
+            ("evicted", Json.Int r.evicted);
+            ("direction_flips", Json.Int r.direction_flips);
+            ( "phase_seconds",
+              Json.Obj
+                (List.map (fun (k, s) -> (k, Json.Float s)) r.phase_seconds) );
+          ] );
+      ( "series",
+        Json.List
+          (List.map
+             (fun (g, it, cov, diffs, corpus) ->
+               Json.Obj
+                 [
+                   ("generation", Json.Int g);
+                   ("iterations_done", Json.Int it);
+                   ("coverage", Json.Float cov);
+                   ("timing_diffs", Json.Int diffs);
+                   ("corpus_size", Json.Int corpus);
+                 ])
+             r.series) );
+      ( "findings",
+        Json.List
+          (List.map
+             (fun (it, n, delta) ->
+               Json.Obj
+                 [
+                   ("iteration", Json.Int it);
+                   ("findings", Json.Int n);
+                   ("total_delta", Json.Int delta);
+                 ])
+             r.findings) );
+      ("observatory", Telemetry.Observatory.to_json r.observatory);
+    ]

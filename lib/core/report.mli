@@ -1,0 +1,43 @@
+(** Offline campaign reports (the [sonar report] subcommand).
+
+    Replays a JSONL telemetry trace (written by {!Telemetry.jsonl_file})
+    into a self-contained document: campaign summary, coverage-over-
+    iterations series, top contention points by minimum observed interval
+    (with sparkline histograms), per-component coverage heatmap, merged
+    profiling span tree, and CCD finding summaries.
+
+    Building a report is a pure fold over the event stream, so the report
+    of a deterministic trace is itself deterministic. Unparseable or
+    unknown lines are counted ({!skipped}) rather than fatal — a trace cut
+    short by a crash still yields a report of everything before the cut. *)
+
+type t
+
+val of_events : ?source:string -> ?skipped:int -> Telemetry.event list -> t
+(** Fold an event stream into a report. [source] labels the report header
+    (defaults to ["<events>"]); [skipped] is carried into the summary. *)
+
+val of_lines : ?source:string -> string list -> t
+(** Parse each non-blank line as one JSON event document; lines that fail
+    to parse or decode count as skipped. *)
+
+val load : string -> (t, string) result
+(** Read a JSONL trace file. [Error] only when the file cannot be opened;
+    malformed content degrades to skipped lines. *)
+
+val skipped : t -> int
+(** Lines of the input that did not decode to a known event. *)
+
+val events : t -> int
+(** Events folded into the report. *)
+
+val to_markdown : ?top:int -> t -> string
+(** GitHub-flavoured markdown; [top] (default 10) caps the contention-point
+    table. *)
+
+val to_html : ?top:int -> t -> string
+(** Single-file HTML document (inline CSS, no external assets). *)
+
+val to_json : t -> Json.t
+(** Machine-readable sidecar: summary counters, the per-generation series,
+    finding records, and the {!Telemetry.Observatory.to_json} snapshot. *)

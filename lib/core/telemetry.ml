@@ -1,3 +1,5 @@
+module Histogram = Histogram
+
 type phase = Generate | Execute | Feedback
 
 let phase_name = function
@@ -27,6 +29,25 @@ type event =
       corpus_size : int;
     }
   | Phase_timing of { generation : int; phase : phase; seconds : float }
+  | Interval_histogram of {
+      generation : int;
+      point : string;
+      src_pair : int;
+      total : int;
+      min_interval : int;
+      max_interval : int;
+      buckets : (int * int) list;
+    }
+  | Coverage_heatmap of { generation : int; components : (string * float) list }
+  | Span_begin of { span_id : int; parent : int option; name : string }
+  | Span_end of { span_id : int; name : string; seconds : float }
+
+(* Span events carry (or bracket) wall-clock measurements, so they join
+   Phase_timing in the timings opt-in class excluded from traces by
+   default. *)
+let is_timing_event = function
+  | Phase_timing _ | Span_begin _ | Span_end _ -> true
+  | _ -> false
 
 type sink = {
   emit : event -> unit;
@@ -109,6 +130,44 @@ let json_of_event ev : Json.t =
           ("phase", Json.String (phase_name e.phase));
           ("seconds", Json.Float e.seconds);
         ]
+  | Interval_histogram e ->
+      obj "interval_histogram"
+        [
+          ("generation", Json.Int e.generation);
+          ("point", Json.String e.point);
+          ("src_pair", Json.Int e.src_pair);
+          ("total", Json.Int e.total);
+          ("min_interval", Json.Int e.min_interval);
+          ("max_interval", Json.Int e.max_interval);
+          ( "buckets",
+            Json.List
+              (List.map
+                 (fun (b, c) -> Json.List [ Json.Int b; Json.Int c ])
+                 e.buckets) );
+        ]
+  | Coverage_heatmap e ->
+      obj "coverage_heatmap"
+        [
+          ("generation", Json.Int e.generation);
+          ( "components",
+            Json.Obj (List.map (fun (name, w) -> (name, Json.Float w)) e.components)
+          );
+        ]
+  | Span_begin e ->
+      obj "span_begin"
+        [
+          ("span_id", Json.Int e.span_id);
+          ( "parent",
+            match e.parent with Some p -> Json.Int p | None -> Json.Null );
+          ("name", Json.String e.name);
+        ]
+  | Span_end e ->
+      obj "span_end"
+        [
+          ("span_id", Json.Int e.span_id);
+          ("name", Json.String e.name);
+          ("seconds", Json.Float e.seconds);
+        ]
 
 let event_of_json doc =
   let open Json in
@@ -172,6 +231,46 @@ let event_of_json doc =
               (Phase_timing
                  { generation = i "generation"; phase; seconds = f "seconds" })
         | None -> None)
+    | "interval_histogram" ->
+        let buckets =
+          match member "buckets" doc with
+          | List items ->
+              List.map
+                (function
+                  | List [ Int b; Int c ] -> (b, c)
+                  | _ -> raise (Parse_error "bad bucket"))
+                items
+          | _ -> raise (Parse_error "buckets must be a list")
+        in
+        Some
+          (Interval_histogram
+             {
+               generation = i "generation";
+               point = s "point";
+               src_pair = i "src_pair";
+               total = i "total";
+               min_interval = i "min_interval";
+               max_interval = i "max_interval";
+               buckets;
+             })
+    | "coverage_heatmap" ->
+        let components =
+          match member "components" doc with
+          | Obj fields -> List.map (fun (name, v) -> (name, to_float v)) fields
+          | _ -> raise (Parse_error "components must be an object")
+        in
+        Some (Coverage_heatmap { generation = i "generation"; components })
+    | "span_begin" ->
+        let parent =
+          match member "parent" doc with
+          | Null -> None
+          | Int p -> Some p
+          | _ -> raise (Parse_error "parent must be int or null")
+        in
+        Some (Span_begin { span_id = i "span_id"; parent; name = s "name" })
+    | "span_end" ->
+        Some
+          (Span_end { span_id = i "span_id"; name = s "name"; seconds = f "seconds" })
     | _ -> None
   with Parse_error _ -> None
 
@@ -180,9 +279,8 @@ let event_of_json doc =
 
 let jsonl ?(timings = false) write_line =
   make (fun ev ->
-      match ev with
-      | Phase_timing _ when not timings -> ()
-      | ev -> write_line (Json.to_string (json_of_event ev)))
+      if timings || not (is_timing_event ev) then
+        write_line (Json.to_string (json_of_event ev)))
 
 let jsonl_file ?timings path =
   let oc = open_out path in
@@ -308,6 +406,8 @@ let aggregator () =
         | Generate -> gen_s := !gen_s +. e.seconds
         | Execute -> exec_s := !exec_s +. e.seconds
         | Feedback -> fb_s := !fb_s +. e.seconds)
+    | Interval_histogram _ | Coverage_heatmap _ | Span_begin _ | Span_end _ ->
+        ()
   in
   let snapshot () =
     let wall = Float.max 1e-9 (Unix.gettimeofday () -. t0) in
@@ -330,6 +430,262 @@ let aggregator () =
       events_per_second = float_of_int !events /. wall;
       testcases_per_second = float_of_int !testcases /. wall;
       pool_utilization = !exec_s /. wall;
+    }
+  in
+  (make emit, snapshot)
+
+(* ------------------------------------------------------------------ *)
+(* Hierarchical profiling spans.                                       *)
+
+module Span = struct
+  type recorder = {
+    emit : event -> unit;
+    clock : unit -> float;
+    mutable next_id : int;
+    mutable stack : int list;
+  }
+
+  let recorder ?(clock = Unix.gettimeofday) emit =
+    { emit; clock; next_id = 1; stack = [] }
+
+  let enter r name =
+    let id = r.next_id in
+    r.next_id <- id + 1;
+    let parent = match r.stack with [] -> None | p :: _ -> Some p in
+    r.stack <- id :: r.stack;
+    r.emit (Span_begin { span_id = id; parent; name });
+    let t0 = r.clock () in
+    let ended = ref false in
+    fun () ->
+      if not !ended then begin
+        ended := true;
+        let seconds = r.clock () -. t0 in
+        (* Tolerate out-of-order ends: drop just this id from the stack. *)
+        r.stack <-
+          (match r.stack with
+          | top :: tl when top = id -> tl
+          | st -> List.filter (fun x -> x <> id) st);
+        r.emit (Span_end { span_id = id; name; seconds })
+      end
+
+  let wrap r name f =
+    let finish = enter r name in
+    Fun.protect ~finally:finish f
+
+  let hook r name = enter r name
+end
+
+(* ------------------------------------------------------------------ *)
+(* Observatory flush: per-generation histogram / heatmap events.       *)
+
+let flush_histograms registry ~generation emit =
+  List.iter
+    (fun ((point, src_pair), h) ->
+      emit
+        (Interval_histogram
+           {
+             generation;
+             point;
+             src_pair;
+             total = Histogram.total h;
+             min_interval = Option.value ~default:0 (Histogram.min_value h);
+             max_interval = Option.value ~default:0 (Histogram.max_value h);
+             buckets = Histogram.counts h;
+           }))
+    (Histogram.drain_dirty registry)
+
+(* ------------------------------------------------------------------ *)
+(* Observatory sink: latest histograms + heatmap + span tree.          *)
+
+module Observatory = struct
+  type point_hist = {
+    point : string;
+    src_pair : int;
+    hist : Histogram.t;
+  }
+
+  type span_node = {
+    span_name : string;
+    calls : int;
+    seconds : float;
+    children : span_node list;
+  }
+
+  type snapshot = {
+    points : point_hist list;
+    heatmap : (string * float) list;
+    span_tree : span_node list;
+  }
+
+  (* Merge raw (id, parent, name, seconds) spans into a tree whose nodes
+     group same-named spans under the same parent path, so a thousand
+     "generation" spans condense into one row with calls = 1000. *)
+  let build_span_tree spans =
+    (* spans: (id, parent, name, seconds) in begin order. *)
+    let ids = Hashtbl.create 64 in
+    List.iter (fun (id, _, _, _) -> Hashtbl.replace ids id ()) spans;
+    let children = Hashtbl.create 32 in
+    let roots = ref [] in
+    List.iter
+      (fun ((_, parent, _, _) as sp) ->
+        match parent with
+        | Some p when Hashtbl.mem ids p ->
+            let cur = Option.value ~default:[] (Hashtbl.find_opt children p) in
+            Hashtbl.replace children p (sp :: cur)
+        | _ -> roots := sp :: !roots)
+      spans;
+    let rec group level =
+      (* keep first-seen name order *)
+      let order = ref [] in
+      let by_name = Hashtbl.create 8 in
+      List.iter
+        (fun ((_, _, name, _) as sp) ->
+          if not (Hashtbl.mem by_name name) then begin
+            order := name :: !order;
+            Hashtbl.add by_name name []
+          end;
+          Hashtbl.replace by_name name (sp :: Hashtbl.find by_name name))
+        level;
+      List.rev_map
+        (fun name ->
+          let members = List.rev (Hashtbl.find by_name name) in
+          let seconds =
+            List.fold_left (fun a (_, _, _, s) -> a +. s) 0. members
+          in
+          let kids =
+            List.concat_map
+              (fun (id, _, _, _) ->
+                List.rev
+                  (Option.value ~default:[] (Hashtbl.find_opt children id)))
+              members
+          in
+          {
+            span_name = name;
+            calls = List.length members;
+            seconds;
+            children = group kids;
+          })
+        !order
+    in
+    group (List.rev !roots)
+
+  let rec json_of_span n : Json.t =
+    Json.Obj
+      [
+        ("name", Json.String n.span_name);
+        ("calls", Json.Int n.calls);
+        ("seconds", Json.Float n.seconds);
+        ("children", Json.List (List.map json_of_span n.children));
+      ]
+
+  let to_json s : Json.t =
+    Json.Obj
+      [
+        ( "points",
+          Json.List
+            (List.map
+               (fun p ->
+                 Json.Obj
+                   [
+                     ("point", Json.String p.point);
+                     ("src_pair", Json.Int p.src_pair);
+                     ("histogram", Histogram.to_json p.hist);
+                   ])
+               s.points) );
+        ( "heatmap",
+          Json.Obj (List.map (fun (name, w) -> (name, Json.Float w)) s.heatmap)
+        );
+        ("span_tree", Json.List (List.map json_of_span s.span_tree))
+      ]
+
+  let pp_spans fmt span_tree =
+    let rec pp_node indent n =
+      Format.fprintf fmt "%s%-*s %5dx %9.3fs@," indent
+        (max 1 (28 - String.length indent))
+        n.span_name n.calls n.seconds;
+      List.iter (pp_node (indent ^ "  ")) n.children
+    in
+    List.iter (pp_node "  ") span_tree
+
+  let pp ?(top = 10) fmt s =
+    Format.fprintf fmt "@[<v>contention observatory:@,";
+    (if s.points = [] then
+       Format.fprintf fmt "  no interval observations@,"
+     else begin
+       Format.fprintf fmt
+         "  top %d of %d (point, source-pair) interval distributions:@,"
+         (min top (List.length s.points))
+         (List.length s.points);
+       Format.fprintf fmt "  %-34s %4s %6s %5s %5s  %s@," "point" "pair" "n"
+         "min" "max" "distribution";
+       List.iteri
+         (fun i p ->
+           if i < top then
+             Format.fprintf fmt "  %-34s %4d %6d %5d %5d  %s@," p.point
+               p.src_pair (Histogram.total p.hist)
+               (Option.value ~default:0 (Histogram.min_value p.hist))
+               (Option.value ~default:0 (Histogram.max_value p.hist))
+               (Histogram.sparkline p.hist))
+         s.points
+     end);
+    (if s.heatmap <> [] then begin
+       Format.fprintf fmt "  coverage heatmap (weighted, per component):@,";
+       let peak =
+         List.fold_left (fun a (_, w) -> Float.max a w) 1e-9 s.heatmap
+       in
+       List.iter
+         (fun (name, w) ->
+           let bars = int_of_float (Float.round (24. *. w /. peak)) in
+           Format.fprintf fmt "  %-10s %-24s %8.1f@," name
+             (String.concat "" (List.init bars (fun _ -> "\xe2\x96\x88")))
+             w)
+         s.heatmap
+     end);
+    (if s.span_tree <> [] then begin
+       Format.fprintf fmt "  profiling spans:@,";
+       pp_spans fmt s.span_tree
+     end);
+    Format.fprintf fmt "@]"
+end
+
+let observatory () =
+  let hists : (string * int, Histogram.t) Hashtbl.t = Hashtbl.create 256 in
+  let heatmap = ref [] in
+  let spans = ref [] in
+  (* span_id -> seconds, patched when the end event arrives *)
+  let emit = function
+    | Interval_histogram e ->
+        Hashtbl.replace hists (e.point, e.src_pair)
+          (Histogram.of_counts ~min_value:e.min_interval
+             ~max_value:e.max_interval e.buckets)
+    | Coverage_heatmap e -> heatmap := e.components
+    | Span_begin e -> spans := (e.span_id, e.parent, e.name, ref 0.) :: !spans
+    | Span_end e -> (
+        match List.find_opt (fun (id, _, _, _) -> id = e.span_id) !spans with
+        | Some (_, _, _, seconds) -> seconds := e.seconds
+        | None ->
+            (* end without a begin (truncated trace): synthesise a root *)
+            spans := (e.span_id, None, e.name, ref e.seconds) :: !spans)
+    | _ -> ()
+  in
+  let snapshot () =
+    let points =
+      Hashtbl.fold
+        (fun (point, src_pair) hist acc ->
+          { Observatory.point; src_pair; hist } :: acc)
+        hists []
+      |> List.stable_sort (fun (a : Observatory.point_hist) b ->
+             let mina = Option.value ~default:max_int (Histogram.min_value a.hist) in
+             let minb = Option.value ~default:max_int (Histogram.min_value b.hist) in
+             compare (mina, a.point, a.src_pair) (minb, b.point, b.src_pair))
+    in
+    let span_list =
+      List.rev_map (fun (id, parent, name, seconds) -> (id, parent, name, !seconds)) !spans
+    in
+    {
+      Observatory.points;
+      heatmap = !heatmap;
+      span_tree = Observatory.build_span_tree span_list;
     }
   in
   (make emit, snapshot)

@@ -17,6 +17,9 @@
     sink list is empty, so a campaign with no telemetry pays nothing on the
     hot path. *)
 
+module Histogram = Histogram
+(** Re-exported so observatory consumers need only [Telemetry]. *)
+
 type phase = Generate | Execute | Feedback
 
 val phase_name : phase -> string
@@ -47,6 +50,31 @@ type event =
   | Phase_timing of { generation : int; phase : phase; seconds : float }
       (** Wall-clock spent in one phase of a generation.
           {b Not deterministic}; excluded from traces by default. *)
+  | Interval_histogram of {
+      generation : int;
+      point : string;  (** contention point name *)
+      src_pair : int;  (** source-pair id within the point *)
+      total : int;  (** observations so far (cumulative) *)
+      min_interval : int;
+      max_interval : int;
+      buckets : (int * int) list;  (** {!Histogram.counts} form *)
+    }
+      (** Cumulative interval distribution of one (point, source-pair),
+          emitted at each generation end for every key touched during that
+          generation. Deterministic. *)
+  | Coverage_heatmap of { generation : int; components : (string * float) list }
+      (** Cumulative contention-coverage weight per netlist component,
+          emitted at each generation end. Deterministic. *)
+  | Span_begin of { span_id : int; parent : int option; name : string }
+      (** A profiling span opened ([parent = None] at the root). In the
+          timings opt-in class: excluded from traces by default. *)
+  | Span_end of { span_id : int; name : string; seconds : float }
+      (** A profiling span closed after [seconds] of wall-clock.
+          {b Not deterministic}; excluded from traces by default. *)
+
+val is_timing_event : event -> bool
+(** Whether the event belongs to the wall-clock (timings opt-in) class:
+    {!event.Phase_timing}, {!event.Span_begin}, {!event.Span_end}. *)
 
 type sink = {
   emit : event -> unit;
@@ -77,7 +105,8 @@ val event_of_json : Json.t -> event option
 val jsonl : ?timings:bool -> (string -> unit) -> sink
 (** A trace writer calling the function once per event with one compact
     JSON document (no trailing newline). [timings] (default [false])
-    includes the non-deterministic [Phase_timing] events. *)
+    includes the wall-clock event class ({!is_timing_event}:
+    [Phase_timing] and the profiling spans). *)
 
 val jsonl_file : ?timings:bool -> string -> sink
 (** {!jsonl} over a freshly created file, one event per line; the sink's
@@ -117,6 +146,78 @@ end
 val aggregator : unit -> sink * (unit -> Metrics.snapshot)
 (** A counting sink plus its snapshot function (callable at any time,
     including mid-campaign). *)
+
+(** {1 Profiling spans}
+
+    A recorder turns lexical regions into hierarchical {!event.Span_begin} /
+    {!event.Span_end} events: span ids are sequential, the parent is
+    whatever span is open on the recorder's stack, and durations come from
+    the recorder's clock (injectable for deterministic tests). Spans are
+    wall-clock data and therefore live in the timings opt-in class. *)
+
+module Span : sig
+  type recorder
+
+  val recorder : ?clock:(unit -> float) -> (event -> unit) -> recorder
+  (** [clock] defaults to [Unix.gettimeofday]. *)
+
+  val enter : recorder -> string -> unit -> unit
+  (** Open a span; the returned closure ends it (idempotent). *)
+
+  val wrap : recorder -> string -> (unit -> 'a) -> 'a
+  (** Run a thunk inside a span; the span ends even if the thunk raises. *)
+
+  val hook : recorder -> string -> unit -> unit
+  (** {!enter} in the shape the IR/RTL-sim profiler hooks expect
+      ({!Sonar_ir.Analysis.set_profiler} and friends). *)
+end
+
+val flush_histograms :
+  Histogram.registry -> generation:int -> (event -> unit) -> unit
+(** Emit one {!event.Interval_histogram} per dirty registry key (sorted, so
+    emission order is deterministic) and clear the dirty set. *)
+
+(** {1 Contention observatory} *)
+
+module Observatory : sig
+  type point_hist = {
+    point : string;
+    src_pair : int;
+    hist : Histogram.t;  (** latest cumulative distribution *)
+  }
+
+  type span_node = {
+    span_name : string;
+    calls : int;  (** same-named spans merged under one node *)
+    seconds : float;  (** summed over merged spans *)
+    children : span_node list;
+  }
+
+  type snapshot = {
+    points : point_hist list;
+        (** ascending by (min interval, point, source pair) — the fuzzer's
+            "closest to contention" order *)
+    heatmap : (string * float) list;  (** latest per-component weights *)
+    span_tree : span_node list;
+  }
+
+  val to_json : snapshot -> Json.t
+
+  val pp : ?top:int -> Format.formatter -> snapshot -> unit
+  (** Sparkline table of the [top] (default 10) points, the heatmap as
+      horizontal bars, and the merged span tree. *)
+
+  val build_span_tree : (int * int option * string * float) list -> span_node list
+  (** Merge raw (id, parent, name, seconds) spans — in begin order — into a
+      tree grouping same-named spans under the same parent path. Spans whose
+      parent id is absent become roots (tolerates truncated traces). *)
+end
+
+val observatory : unit -> sink * (unit -> Observatory.snapshot)
+(** A sink accumulating {!event.Interval_histogram},
+    {!event.Coverage_heatmap} and span events into an
+    {!Observatory.snapshot} (callable at any time); all other events are
+    ignored. *)
 
 val progress : ?out:out_channel -> every:int -> total:int -> unit -> sink
 (** A human progress reporter (default on [stderr]): after each generation

@@ -14,16 +14,34 @@ type summary = {
   reduction_by_filter : float;
 }
 
+(* Profiling hook: the telemetry layer (which this library cannot depend
+   on) installs a span recorder here; [enter name] opens a span and the
+   returned closure ends it. Default: no-op, zero overhead. *)
+let profiler : (string -> unit -> unit) option ref = ref None
+
+let set_profiler h = profiler := h
+
+let span name f =
+  match !profiler with
+  | None -> f ()
+  | Some enter -> Fun.protect ~finally:(enter name) f
+
 let classified_of_circuit (c : Circuit.t) =
-  List.concat_map Const_filter.classify_module c.modules
+  span "analysis.identify" (fun () ->
+      List.concat_map Const_filter.classify_module c.modules)
 
 let summarize (c : Circuit.t) =
+  span "analysis" @@ fun () ->
   let naive =
-    List.fold_left (fun acc m -> acc + Mux_tree.naive_mux_count m) 0 c.modules
+    span "analysis.naive_mux_count" (fun () ->
+        List.fold_left (fun acc m -> acc + Mux_tree.naive_mux_count m) 0 c.modules)
   in
   let classified = classified_of_circuit c in
   let identified = List.length classified in
-  let monitored = List.length (Const_filter.monitored classified) in
+  let monitored =
+    span "analysis.filter" (fun () ->
+        List.length (Const_filter.monitored classified))
+  in
   let per_component =
     List.map
       (fun component ->

@@ -18,6 +18,14 @@ type summary = {
   reduction_by_filter : float;  (** fraction removed by the §5.2 filter *)
 }
 
+val set_profiler : (string -> unit -> unit) option -> unit
+(** Install a profiling hook: [enter name] is called when an analysis phase
+    begins and the closure it returns when the phase ends (even on raise).
+    The telemetry layer bridges this to hierarchical [span_begin]/[span_end]
+    events; the default ([None]) costs nothing. Span names:
+    ["analysis"], ["analysis.naive_mux_count"], ["analysis.identify"],
+    ["analysis.filter"]. *)
+
 val classified_of_circuit : Circuit.t -> Const_filter.classified list
 (** Classified contention points of every module, in module order. *)
 

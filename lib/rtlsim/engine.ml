@@ -314,7 +314,18 @@ let step t =
 
 (* --- compilation --- *)
 
+(* Profiling hook; see [Sonar_ir.Analysis.set_profiler] — same contract. *)
+let profiler : (string -> unit -> unit) option ref = ref None
+
+let set_profiler h = profiler := h
+
 let compile ?(backend = Compiled) (m : Fmodule.t) =
+  let finish =
+    match !profiler with
+    | None -> Fun.id
+    | Some enter -> enter "engine.compile"
+  in
+  Fun.protect ~finally:finish @@ fun () ->
   let slots = Hashtbl.create 128 in
   let decls = Hashtbl.create 128 in
   List.iter

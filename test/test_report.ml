@@ -1,0 +1,159 @@
+(* Tests for the offline trace-report builder behind `sonar report`:
+   replaying a real campaign trace, resilience to malformed input, the
+   markdown/HTML/JSON renderers, and report determinism. *)
+
+open Sonar
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+let checks = Alcotest.(check string)
+
+let contains ~needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+let nutshell = Sonar_uarch.Config.nutshell
+
+let trace_lines ?(timings = false) ~iterations () =
+  let lines = ref [] in
+  let sink = Telemetry.jsonl ~timings (fun s -> lines := s :: !lines) in
+  let o =
+    Fuzzer.run
+      ~options:{ Fuzzer.Options.default with seed = 23L; sinks = [ sink ] }
+      nutshell Fuzzer.full_strategy ~iterations
+  in
+  (o, List.rev !lines)
+
+let test_campaign_replay () =
+  let o, lines = trace_lines ~iterations:24 () in
+  let r = Report.of_lines ~source:"test" lines in
+  checki "nothing skipped" 0 (Report.skipped r);
+  checki "every line became an event" (List.length lines) (Report.events r);
+  let md = Report.to_markdown r in
+  List.iter
+    (fun section -> checkb (section ^ " present") true (contains ~needle:section md))
+    [
+      "# Sonar campaign report";
+      "## Summary";
+      "## Coverage over iterations";
+      "## Contention points by minimum interval";
+      "## Coverage heatmap";
+      "## Profiling spans";
+      "## CCD findings";
+    ];
+  (* summary numbers come from the trace, which tracked the outcome *)
+  checkb "testcase count in summary" true
+    (contains ~needle:"| testcases | 24 |" md);
+  checkb "final coverage in summary" true
+    (contains
+       ~needle:(Printf.sprintf "%.1f" o.Fuzzer.final_coverage)
+       md);
+  (* without --timings the trace has no spans; the section says so *)
+  checkb "span section notes the timings opt-in" true
+    (contains ~needle:"timings opt-in" md)
+
+let test_span_tree_rendering () =
+  let _, lines = trace_lines ~timings:true ~iterations:16 () in
+  let md = Report.to_markdown (Report.of_lines lines) in
+  checkb "campaign span row" true (contains ~needle:"campaign" md);
+  checkb "execute span row" true (contains ~needle:"execute" md);
+  checkb "no opt-in note when spans exist" false (contains ~needle:"timings opt-in" md)
+
+let test_skipped_lines () =
+  let _, lines = trace_lines ~iterations:8 () in
+  let polluted =
+    [ "not json at all"; {|{"event":"martian"}|}; "" ]
+    @ lines
+    @ [ {|{"truncated|} ]
+  in
+  let r = Report.of_lines polluted in
+  checki "bad lines counted, blank ignored" 3 (Report.skipped r);
+  checki "good events all kept" (List.length lines) (Report.events r);
+  checkb "skip count surfaces in the summary" true
+    (contains ~needle:"| skipped lines | 3 |" (Report.to_markdown r))
+
+let test_empty_and_missing () =
+  let r = Report.of_lines [] in
+  checki "empty trace, zero events" 0 (Report.events r);
+  checkb "empty trace still renders" true
+    (contains ~needle:"No generation_end events" (Report.to_markdown r));
+  match Report.load "/nonexistent/sonar-trace.jsonl" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "loading a missing file must be an error"
+
+let test_html_renderer () =
+  let ev =
+    Telemetry.Coverage_heatmap
+      { generation = 1; components = [ ("a<b>&\"c", 1.0) ] }
+  in
+  let html = Report.to_html (Report.of_events [ ev ]) in
+  checkb "is a complete document" true
+    (contains ~needle:"<!DOCTYPE html>" html && contains ~needle:"</html>" html);
+  checkb "component names are escaped" true
+    (contains ~needle:"a&lt;b&gt;&amp;&quot;c" html);
+  checkb "raw markup never leaks" false (contains ~needle:"a<b>" html)
+
+let test_json_sidecar () =
+  let _, lines = trace_lines ~iterations:16 () in
+  let doc = Report.to_json (Report.of_lines ~source:"t" lines) in
+  (* serialises and reparses; carries the sections machines consume *)
+  let doc' = Json.of_string (Json.to_string doc) in
+  checkb "sidecar round-trips" true (doc = doc');
+  checks "source recorded" "t"
+    Json.(to_str (member "source" (member "summary" doc)));
+  checkb "series present" true
+    (match Json.member "series" doc with Json.List (_ :: _) -> true | _ -> false);
+  checkb "observatory present" true
+    (match Json.member "observatory" doc with Json.Obj _ -> true | _ -> false)
+
+let test_deterministic () =
+  let _, a = trace_lines ~iterations:16 () in
+  let _, b = trace_lines ~iterations:16 () in
+  checks "same trace, byte-identical markdown"
+    (Report.to_markdown (Report.of_lines a))
+    (Report.to_markdown (Report.of_lines b));
+  checks "same trace, byte-identical sidecar"
+    (Json.to_string (Report.to_json (Report.of_lines a)))
+    (Json.to_string (Report.to_json (Report.of_lines b)))
+
+let test_top_limits_points () =
+  let _, lines = trace_lines ~iterations:24 () in
+  let r = Report.of_lines lines in
+  let count_rows md =
+    (* data rows of the contention-point table: lines between its header
+       separator and the next blank line *)
+    match String.split_on_char '\n' md with
+    | [] -> 0
+    | all ->
+        let rec after_header = function
+          | [] -> []
+          | l :: rest ->
+              if contains ~needle:"| point | pair |" l then rest
+              else after_header rest
+        in
+        let rec rows n = function
+          | l :: rest when String.length l > 0 && l.[0] = '|' -> rows (n + 1) rest
+          | _ -> n
+        in
+        rows (-1) (after_header all) (* -1 skips the --- separator row *)
+  in
+  checki "top=3 keeps three rows" 3 (count_rows (Report.to_markdown ~top:3 r));
+  checkb "default keeps more" true (count_rows (Report.to_markdown r) > 3)
+
+let () =
+  Alcotest.run "sonar_report"
+    [
+      ( "report",
+        [
+          Alcotest.test_case "campaign replay" `Quick test_campaign_replay;
+          Alcotest.test_case "span tree rendering" `Quick test_span_tree_rendering;
+          Alcotest.test_case "skipped lines" `Quick test_skipped_lines;
+          Alcotest.test_case "empty and missing input" `Quick test_empty_and_missing;
+          Alcotest.test_case "html renderer" `Quick test_html_renderer;
+          Alcotest.test_case "json sidecar" `Quick test_json_sidecar;
+          Alcotest.test_case "deterministic" `Quick test_deterministic;
+          Alcotest.test_case "top limits the point table" `Quick
+            test_top_limits_points;
+        ] );
+    ]

@@ -67,6 +67,143 @@ let test_json_member () =
   checkb "missing member is Null" true (Json.member "zzz" doc = Json.Null);
   checkf "to_float accepts ints" 7. Json.(to_float (member "b" (member "a" doc)))
 
+let test_json_unicode_escapes () =
+  checkb "ASCII \\u escape" true (Json.of_string {|"A"|} = Json.String "A");
+  checkb "2-byte UTF-8 code point" true
+    (Json.of_string {|"é"|} = Json.String "\xc3\xa9");
+  checkb "3-byte UTF-8 code point" true
+    (Json.of_string {|"▁"|} = Json.String "\xe2\x96\x81");
+  checkb "truncated \\u escape rejected" true
+    (match Json.of_string {|"\u00|} with
+    | exception Json.Parse_error _ -> true
+    | _ -> false);
+  checkb "non-hex \\u escape rejected" true
+    (match Json.of_string {|"\uZZZZ"|} with
+    | exception Json.Parse_error _ -> true
+    | _ -> false);
+  checkb "unknown escape rejected" true
+    (match Json.of_string {|"\q"|} with
+    | exception Json.Parse_error _ -> true
+    | _ -> false)
+
+let test_json_control_chars () =
+  (* Control characters must escape on output and survive a round-trip. *)
+  let s = "\x00\x01\x1f bell\x07" in
+  let printed = Json.to_string (Json.String s) in
+  checks "control chars printed as escapes"
+    "\"\\u0000\\u0001\\u001f bell\\u0007\"" printed;
+  checkb "and parse back to the same bytes" true
+    (Json.of_string printed = Json.String s)
+
+let test_json_deep_nesting () =
+  let depth = 500 in
+  let src =
+    String.concat "" (List.init depth (fun _ -> "["))
+    ^ "7"
+    ^ String.concat "" (List.init depth (fun _ -> "]"))
+  in
+  let doc = Json.of_string src in
+  let rec measure acc = function
+    | Json.List [ inner ] -> measure (acc + 1) inner
+    | Json.Int 7 -> acc
+    | _ -> Alcotest.fail "unexpected shape"
+  in
+  checki "nesting depth preserved" depth (measure 0 doc);
+  checks "deep document re-prints to its source" src (Json.to_string doc)
+
+let test_json_error_positions () =
+  (* Parse errors must carry a byte offset so a bad trace line is
+     diagnosable. *)
+  let offset_of src =
+    (* messages read "... at offset N": recover N *)
+    match Json.of_string src with
+    | exception Json.Parse_error msg -> (
+        match String.rindex_opt msg ' ' with
+        | Some i ->
+            int_of_string_opt (String.sub msg (i + 1) (String.length msg - i - 1))
+        | None -> None)
+    | _ -> None
+  in
+  checkb "trailing garbage offset" true (offset_of "1 x" = Some 2);
+  checkb "truncated object reports end of input" true
+    (offset_of {|{"a":|} = Some 5);
+  checkb "truncated list reports end of input" true (offset_of "[1," = Some 3);
+  checkb "empty input reports offset 0" true (offset_of "" = Some 0)
+
+(* --- Json qcheck properties --- *)
+
+(* Finite floats that survive [Float f -> print -> parse] exactly (the
+   printer guarantees round-trip for every finite float; quotients of small
+   ints keep counter-example shrinking readable). *)
+let gen_safe_float =
+  QCheck2.Gen.(
+    map
+      (fun (a, b) -> float_of_int a /. float_of_int (max 1 (abs b)))
+      (pair (int_range (-10000) 10000) (int_range 1 1000)))
+
+let gen_json =
+  QCheck2.Gen.(
+    sized @@ fix (fun self n ->
+        let scalar =
+          oneof
+            [
+              return Json.Null;
+              map (fun b -> Json.Bool b) bool;
+              map (fun i -> Json.Int i) int;
+              map (fun f -> Json.Float f) gen_safe_float;
+              map (fun s -> Json.String s) (string_size (int_bound 12));
+            ]
+        in
+        if n <= 0 then scalar
+        else
+          frequency
+            [
+              (2, scalar);
+              ( 1,
+                map
+                  (fun l -> Json.List l)
+                  (list_size (int_bound 4) (self (n / 2))) );
+              ( 1,
+                map
+                  (fun kvs -> Json.Obj kvs)
+                  (list_size (int_bound 4)
+                     (pair (string_size (int_bound 8)) (self (n / 2)))) );
+            ]))
+
+let qcheck_json_roundtrip =
+  QCheck2.Test.make ~name:"parse (print doc) = doc" ~count:300 gen_json
+    (fun doc -> Json.of_string (Json.to_string doc) = doc)
+
+let qcheck_json_string_bytes =
+  (* Arbitrary bytes — including control characters and invalid UTF-8 —
+     survive printing and reparsing unchanged. *)
+  QCheck2.Test.make ~name:"any byte string round-trips" ~count:300
+    QCheck2.Gen.(string_size (int_bound 40))
+    (fun s -> Json.of_string (Json.to_string (Json.String s)) = Json.String s)
+
+let qcheck_json_trailing_garbage =
+  QCheck2.Test.make ~name:"trailing garbage always rejected" ~count:200
+    gen_json
+    (fun doc ->
+      match Json.of_string (Json.to_string doc ^ " true") with
+      | exception Json.Parse_error _ -> true
+      | _ -> false)
+
+let qcheck_json_truncation =
+  (* Trace lines are objects, and an object is only closed by its final
+     '}' — so every strict prefix of one must raise Parse_error (truncated
+     input is never silently accepted). *)
+  QCheck2.Test.make ~name:"truncated objects always rejected" ~count:100
+    gen_json
+    (fun doc ->
+      let s = Json.to_string (Json.Obj [ ("event", doc) ]) in
+      List.for_all
+        (fun len ->
+          match Json.of_string (String.sub s 0 len) with
+          | exception Json.Parse_error _ -> true
+          | _ -> false)
+        (List.init (String.length s) Fun.id))
+
 (* --- event JSON round-trip --- *)
 
 let sample_events =
@@ -88,6 +225,21 @@ let sample_events =
       };
     Telemetry.Phase_timing
       { generation = 1; phase = Telemetry.Execute; seconds = 0.125 };
+    Telemetry.Interval_histogram
+      {
+        generation = 2;
+        point = "c0.exec.wb_port";
+        src_pair = 1;
+        total = 12;
+        min_interval = 0;
+        max_interval = 33;
+        buckets = [ (0, 4); (3, 6); (6, 2) ];
+      };
+    Telemetry.Coverage_heatmap
+      { generation = 2; components = [ ("exec", 12.5); ("lsu", 0.) ] };
+    Telemetry.Span_begin { span_id = 1; parent = None; name = "campaign" };
+    Telemetry.Span_begin { span_id = 2; parent = Some 1; name = "generation" };
+    Telemetry.Span_end { span_id = 2; name = "generation"; seconds = 0.25 };
   ]
 
 let test_event_json_roundtrip () =
@@ -101,6 +253,136 @@ let test_event_json_roundtrip () =
     (Telemetry.event_of_json (Json.of_string {|{"event":"martian"}|}) = None);
   checkb "malformed payload rejected" true
     (Telemetry.event_of_json (Json.of_string {|{"event":"ccd_finding"}|}) = None)
+
+(* --- interval histograms --- *)
+
+let test_histogram_bucketing () =
+  let open Telemetry.Histogram in
+  checki "0 -> bucket 0" 0 (bucket_of 0);
+  checki "1 -> bucket 1" 1 (bucket_of 1);
+  checki "2 -> bucket 2" 2 (bucket_of 2);
+  checki "3 -> bucket 2" 2 (bucket_of 3);
+  checki "4 -> bucket 3" 3 (bucket_of 4);
+  checki "7 -> bucket 3" 3 (bucket_of 7);
+  checki "8 -> bucket 4" 4 (bucket_of 8);
+  checkb "bucket 0 range" true (bucket_range 0 = (0, 0));
+  checkb "bucket 3 range" true (bucket_range 3 = (4, 7));
+  let h = create () in
+  checkb "empty extrema" true (min_value h = None && max_value h = None);
+  checks "empty sparkline" "" (sparkline h);
+  List.iter (add h) [ 0; 0; 1; 3; 3; 3; 1000; -5 ];
+  checki "total counts every add" 8 (total h);
+  checkb "negative clamps to 0" true (min_value h = Some 0);
+  checkb "max tracked" true (max_value h = Some 1000);
+  checkb "counts ascending, non-empty buckets only" true
+    (counts h = [ (0, 3); (1, 1); (2, 3); (10, 1) ])
+
+let test_histogram_json_and_merge () =
+  let open Telemetry.Histogram in
+  let h = create () in
+  List.iter (add h) [ 2; 2; 9; 70 ];
+  (match of_json (to_json h) with
+  | Some h' ->
+      checkb "json round-trip preserves counts" true (counts h = counts h');
+      checkb "json round-trip preserves extrema" true
+        (min_value h = min_value h' && max_value h = max_value h')
+  | None -> Alcotest.fail "histogram json did not decode");
+  checkb "garbage json rejected" true (of_json (Json.Int 3) = None);
+  let g = create () in
+  List.iter (add g) [ 0; 9 ];
+  let m = merge h g in
+  checki "merge sums totals" (total h + total g) (total m);
+  checkb "merge min" true (min_value m = Some 0);
+  checkb "merge max" true (max_value m = Some 70);
+  checkb "arguments not mutated" true (total h = 4 && total g = 2)
+
+let test_histogram_registry_dirty () =
+  let open Telemetry.Histogram in
+  let r = registry () in
+  observe r ~point:"b" ~src_pair:0 4;
+  observe r ~point:"a" ~src_pair:1 7;
+  observe r ~point:"a" ~src_pair:1 2;
+  let drained = drain_dirty r in
+  Alcotest.(check (list (pair string int)))
+    "first drain: both keys, sorted"
+    [ ("a", 1); ("b", 0) ]
+    (List.map fst drained);
+  checki "observations accumulate per key" 2
+    (total (List.assoc ("a", 1) drained));
+  checkb "second drain is empty" true (drain_dirty r = []);
+  observe r ~point:"b" ~src_pair:0 1;
+  Alcotest.(check (list (pair string int)))
+    "only the touched key is dirty again"
+    [ ("b", 0) ]
+    (List.map fst (drain_dirty r));
+  checki "registry keeps all histograms" 2 (List.length (to_list r))
+
+(* --- span recorder --- *)
+
+let test_span_recorder () =
+  let events = ref [] in
+  let t = ref 0. in
+  let clock () =
+    let v = !t in
+    t := v +. 1.;
+    v
+  in
+  let r = Telemetry.Span.recorder ~clock (fun e -> events := e :: !events) in
+  let end_a = Telemetry.Span.enter r "a" in
+  checki "wrap returns the thunk's value" 42
+    (Telemetry.Span.wrap r "b" (fun () -> 42));
+  end_a ();
+  end_a ();
+  (* ending twice must not re-emit *)
+  let got = List.rev !events in
+  checkb "begin/end sequence with nesting and durations" true
+    (got
+    = [
+        Telemetry.Span_begin { span_id = 1; parent = None; name = "a" };
+        Telemetry.Span_begin { span_id = 2; parent = Some 1; name = "b" };
+        Telemetry.Span_end { span_id = 2; name = "b"; seconds = 1. };
+        Telemetry.Span_end { span_id = 1; name = "a"; seconds = 3. };
+      ]);
+  (* wrap must end the span when the thunk raises *)
+  (match Telemetry.Span.wrap r "c" (fun () -> raise Exit) with
+  | exception Exit -> ()
+  | _ -> Alcotest.fail "Exit did not propagate");
+  checkb "raised span still ended" true
+    (match !events with
+    | Telemetry.Span_end { name = "c"; _ } :: _ -> true
+    | _ -> false)
+
+let test_span_tree_merging () =
+  (* Two generations under one campaign, each with the same child names:
+     same-named siblings merge with summed seconds and call counts. *)
+  let spans =
+    [
+      (1, None, "campaign", 10.);
+      (2, Some 1, "generation", 4.);
+      (3, Some 2, "execute", 3.);
+      (4, Some 1, "generation", 6.);
+      (5, Some 4, "execute", 2.);
+      (* orphan: parent id never began (truncated trace) -> becomes a root *)
+      (9, Some 99, "stray", 1.);
+    ]
+  in
+  match Telemetry.Observatory.build_span_tree spans with
+  | [ root; stray ] ->
+      checks "root name" "campaign" root.Telemetry.Observatory.span_name;
+      checki "root calls" 1 root.calls;
+      (match root.children with
+      | [ gen ] ->
+          checks "generations merged" "generation" gen.Telemetry.Observatory.span_name;
+          checki "two generation calls" 2 gen.calls;
+          checkf "seconds summed" 10. gen.seconds;
+          (match gen.children with
+          | [ ex ] ->
+              checki "execute calls merged" 2 ex.Telemetry.Observatory.calls;
+              checkf "execute seconds" 5. ex.seconds
+          | kids -> Alcotest.failf "expected one merged child, got %d" (List.length kids))
+      | kids -> Alcotest.failf "expected one child, got %d" (List.length kids));
+      checks "orphan becomes a root" "stray" stray.Telemetry.Observatory.span_name
+  | nodes -> Alcotest.failf "expected two roots, got %d" (List.length nodes)
 
 (* --- campaign helpers --- *)
 
@@ -167,22 +449,23 @@ let test_trace_jobs_deterministic () =
   checks "byte-identical traces" (String.concat "\n" a) (String.concat "\n" b)
 
 let test_jsonl_timings_opt_in () =
-  let count_timings ~timings =
-    let n = ref 0 in
+  let count ~timings =
+    let phases = ref 0 and spans = ref 0 in
     let sink =
       Telemetry.jsonl ~timings (fun s ->
-          if
-            match Telemetry.event_of_json (Json.of_string s) with
-            | Some (Telemetry.Phase_timing _) -> true
-            | _ -> false
-          then incr n)
+          match Telemetry.event_of_json (Json.of_string s) with
+          | Some (Telemetry.Phase_timing _) -> incr phases
+          | Some (Telemetry.Span_begin _ | Telemetry.Span_end _) -> incr spans
+          | _ -> ())
     in
     ignore (campaign ~sinks:[ sink ] ~iterations:8 ());
-    !n
+    (!phases, !spans)
   in
-  checki "timings excluded by default" 0 (count_timings ~timings:false);
-  checki "3 phase timings per generation when opted in" 3
-    (count_timings ~timings:true)
+  checkb "wall-clock class excluded by default" true (count ~timings:false = (0, 0));
+  (* one 8-iteration generation: 3 phase timings; spans = campaign +
+     generation + generate/execute/feedback, each a begin and an end *)
+  checkb "phase timings and spans when opted in" true
+    (count ~timings:true = (3, 10))
 
 let test_jsonl_file_writes () =
   let path = Filename.temp_file "sonar_trace" ".jsonl" in
@@ -203,6 +486,91 @@ let test_jsonl_file_writes () =
   close_in ic;
   Sys.remove path;
   checkb "several events on disk" true (!n > 8)
+
+let test_partial_trace_on_raise () =
+  (* Satellite property: a campaign that dies mid-run (here: a sink that
+     raises, standing in for a crashing DUT) must still leave the attached
+     trace file flushed, parseable line-by-line, and non-trivial. *)
+  let path = Filename.temp_file "sonar_crash" ".jsonl" in
+  let file_sink = Telemetry.jsonl_file path in
+  let exception Boom in
+  let n = ref 0 in
+  let bomb =
+    (* count the same event class the trace writer keeps, so the line-count
+       assertion below is exact *)
+    Telemetry.make (fun ev ->
+        if not (Telemetry.is_timing_event ev) then begin
+          incr n;
+          if !n > 40 then raise Boom
+        end)
+  in
+  (match campaign ~sinks:[ file_sink; bomb ] ~iterations:64 () with
+  | exception Boom -> ()
+  | _ -> Alcotest.fail "expected the campaign to propagate the failure");
+  let ic = open_in path in
+  let lines = ref 0 in
+  (try
+     while true do
+       let line = input_line ic in
+       (match Telemetry.event_of_json (Json.of_string line) with
+       | Some _ -> ()
+       | None -> Alcotest.fail ("partial trace line did not decode: " ^ line));
+       incr lines
+     done
+   with End_of_file -> ());
+  close_in ic;
+  Sys.remove path;
+  checkb "partial trace holds the events before the crash" true (!lines >= 40)
+
+(* --- observatory sink --- *)
+
+let test_observatory_snapshot () =
+  let sink, snap = Telemetry.observatory () in
+  let hist ~point ~src_pair ~total ~min_interval ~max_interval buckets =
+    sink.Telemetry.emit
+      (Telemetry.Interval_histogram
+         { generation = 1; point; src_pair; total; min_interval; max_interval;
+           buckets })
+  in
+  (* two keys; the second emission for ("x", 0) supersedes the first *)
+  hist ~point:"x" ~src_pair:0 ~total:3 ~min_interval:2 ~max_interval:9 [ (2, 3) ];
+  hist ~point:"y" ~src_pair:1 ~total:5 ~min_interval:0 ~max_interval:4 [ (0, 5) ];
+  hist ~point:"x" ~src_pair:0 ~total:4 ~min_interval:1 ~max_interval:9 [ (1, 4) ];
+  sink.Telemetry.emit
+    (Telemetry.Coverage_heatmap { generation = 1; components = [ ("exec", 1.) ] });
+  sink.Telemetry.emit
+    (Telemetry.Coverage_heatmap
+       { generation = 2; components = [ ("exec", 2.); ("lsu", 1.) ] });
+  sink.Telemetry.emit
+    (Telemetry.Span_begin { span_id = 1; parent = None; name = "campaign" });
+  sink.Telemetry.emit
+    (Telemetry.Span_end { span_id = 1; name = "campaign"; seconds = 2.5 });
+  (* events the observatory ignores must be harmless *)
+  sink.Telemetry.emit
+    (Telemetry.Generation_end
+       { generation = 2; iterations_done = 9; coverage = 1.; timing_diffs = 0;
+         corpus_size = 1 });
+  let s = snap () in
+  (match s.Telemetry.Observatory.points with
+  | [ a; b ] ->
+      checkb "ascending by min interval" true
+        (a.Telemetry.Observatory.point = "y" && b.point = "x");
+      checki "latest cumulative histogram wins" 4
+        (Telemetry.Histogram.total b.hist);
+      checkb "decoded extrema preserved" true
+        (Telemetry.Histogram.min_value b.hist = Some 1
+        && Telemetry.Histogram.max_value b.hist = Some 9)
+  | pts -> Alcotest.failf "expected 2 points, got %d" (List.length pts));
+  checkb "latest heatmap wins" true
+    (s.heatmap = [ ("exec", 2.); ("lsu", 1.) ]);
+  (match s.span_tree with
+  | [ root ] ->
+      checkb "span tree assembled" true
+        (root.Telemetry.Observatory.span_name = "campaign"
+        && root.calls = 1 && root.seconds = 2.5)
+  | t -> Alcotest.failf "expected 1 span root, got %d" (List.length t));
+  checkb "snapshot serialises" true
+    (match Telemetry.Observatory.to_json s with Json.Obj _ -> true | _ -> false)
 
 (* --- corpus events --- *)
 
@@ -248,19 +616,35 @@ let test_progress_reports () =
 
 (* --- Options record API --- *)
 
-let test_options_default_matches_legacy () =
-  (* The deprecated optional-argument wrapper and the Options record must
-     produce bit-for-bit identical outcomes. *)
-  let via_options =
+let test_options_record_equivalences () =
+  (* Omitting ~options must mean exactly Options.default, and a record
+     built field-by-field must behave like the record-update idiom —
+     the invariants the removed run_legacy wrapper used to pin down. *)
+  let implicit = Fuzzer.run nutshell Fuzzer.full_strategy ~iterations:15 in
+  let explicit_default =
+    Fuzzer.run ~options:Fuzzer.Options.default nutshell Fuzzer.full_strategy
+      ~iterations:15
+  in
+  checkb "no ~options = Options.default" true (implicit = explicit_default);
+  let via_update =
     Fuzzer.run
       ~options:{ Fuzzer.Options.default with seed = 17L; batch = 5 }
       nutshell Fuzzer.full_strategy ~iterations:15
   in
-  let via_legacy =
-    (Fuzzer.run_legacy [@alert "-deprecated"]) ~seed:17L ~batch:5 nutshell
-      Fuzzer.full_strategy ~iterations:15
+  let via_literal =
+    Fuzzer.run
+      ~options:
+        {
+          Fuzzer.Options.seed = 17L;
+          dual = false;
+          max_cycles = None;
+          jobs = 1;
+          batch = 5;
+          sinks = [];
+        }
+      nutshell Fuzzer.full_strategy ~iterations:15
   in
-  checkb "bit-identical outcomes" true (via_options = via_legacy)
+  checkb "bit-identical outcomes" true (via_update = via_literal)
 
 let test_null_sink_not_observable () =
   (* Attaching sinks (null or real) must not perturb the campaign. *)
@@ -291,9 +675,36 @@ let () =
           Alcotest.test_case "print/parse identity" `Quick
             test_json_print_parse_identity;
           Alcotest.test_case "member access" `Quick test_json_member;
+          Alcotest.test_case "unicode escapes" `Quick test_json_unicode_escapes;
+          Alcotest.test_case "control characters" `Quick test_json_control_chars;
+          Alcotest.test_case "deep nesting" `Quick test_json_deep_nesting;
+          Alcotest.test_case "error positions" `Quick test_json_error_positions;
         ] );
+      ( "json properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            qcheck_json_roundtrip;
+            qcheck_json_string_bytes;
+            qcheck_json_trailing_garbage;
+            qcheck_json_truncation;
+          ] );
       ( "events",
         [ Alcotest.test_case "json round-trip" `Quick test_event_json_roundtrip ] );
+      ( "histograms",
+        [
+          Alcotest.test_case "bucketing and extrema" `Quick
+            test_histogram_bucketing;
+          Alcotest.test_case "json round-trip and merge" `Quick
+            test_histogram_json_and_merge;
+          Alcotest.test_case "registry dirty set" `Quick
+            test_histogram_registry_dirty;
+        ] );
+      ( "spans",
+        [
+          Alcotest.test_case "recorder with injected clock" `Quick
+            test_span_recorder;
+          Alcotest.test_case "tree merging" `Quick test_span_tree_merging;
+        ] );
       ( "sinks",
         [
           Alcotest.test_case "aggregator matches campaign" `Quick
@@ -303,13 +714,17 @@ let () =
             test_trace_jobs_deterministic;
           Alcotest.test_case "timings are opt-in" `Quick test_jsonl_timings_opt_in;
           Alcotest.test_case "jsonl file writer" `Quick test_jsonl_file_writes;
+          Alcotest.test_case "partial trace survives a crash" `Quick
+            test_partial_trace_on_raise;
+          Alcotest.test_case "observatory snapshot" `Quick
+            test_observatory_snapshot;
           Alcotest.test_case "corpus events" `Quick test_corpus_events;
           Alcotest.test_case "progress reporter" `Quick test_progress_reports;
         ] );
       ( "options",
         [
-          Alcotest.test_case "record matches legacy signature" `Quick
-            test_options_default_matches_legacy;
+          Alcotest.test_case "record equivalences" `Quick
+            test_options_record_equivalences;
           Alcotest.test_case "sinks never perturb outcomes" `Quick
             test_null_sink_not_observable;
           Alcotest.test_case "validation" `Quick test_options_validation;
