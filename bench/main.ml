@@ -402,22 +402,30 @@ let mitigation () =
 (* Parallel execution: wall-clock jobs=1 vs jobs=N, determinism check.  *)
 
 let speedup () =
-  section "speedup" "Parallel fuzzing wall-clock: jobs=1 vs jobs=N";
+  section "speedup" "Parallel fuzzing wall-clock: jobs x chunk sweep";
   let cfg = Sonar_uarch.Config.boom in
   let iters = fuzz_iterations in
+  let batch = Sonar.Fuzzer.default_batch in
   let jobs_n = max 2 (Sonar.Domain_pool.default_jobs ()) in
-  Printf.printf "%s, %d iterations, full strategy, batch=%d\n%!"
-    cfg.Sonar_uarch.Config.name iters Sonar.Fuzzer.default_batch;
+  let host_cores = Domain.recommended_domain_count () in
+  Printf.printf "%s, %d iterations, full strategy, batch=%d, host cores=%d\n%!"
+    cfg.Sonar_uarch.Config.name iters batch host_cores;
   (* Each run carries an in-memory telemetry aggregator so the wall-clock
      splits into generate/execute/feedback phases — the execute share is
      the only part extra jobs can parallelise (sinks observe the campaign
      but never influence it; the bit-identical check below still holds). *)
-  let campaign jobs =
+  let campaign jobs chunk =
     let sink, snap = Sonar.Telemetry.aggregator () in
     let o =
       Sonar.Fuzzer.run
         ~options:
-          { Sonar.Fuzzer.Options.default with seed = 42L; jobs; sinks = [ sink ] }
+          {
+            Sonar.Fuzzer.Options.default with
+            seed = 42L;
+            jobs;
+            chunk;
+            sinks = [ sink ];
+          }
         cfg Sonar.Fuzzer.full_strategy ~iterations:iters
     in
     (o, snap ())
@@ -429,26 +437,69 @@ let speedup () =
       m.generate_seconds m.execute_seconds m.feedback_seconds
       (100. *. m.pool_utilization)
   in
-  let (o1, m1), t1 = time_it (fun () -> campaign 1) in
-  Printf.printf "  jobs=1   %8.2fs\n%!" t1;
+  let chunk_label = function
+    | None -> "auto"
+    | Some c -> string_of_int c
+  in
+  let chunk_json = function
+    | None -> Sonar.Json.String "auto"
+    | Some c -> Sonar.Json.Int c
+  in
+  let (o1, m1), t1 = time_it (fun () -> campaign 1 None) in
+  Printf.printf "  jobs=1            %8.2fs\n%!" t1;
   phase_line m1;
-  let (on, mn), tn = time_it (fun () -> campaign jobs_n) in
-  let speedup = t1 /. tn in
-  Printf.printf "  jobs=%-3d %8.2fs  (%.2fx)\n%!" jobs_n tn speedup;
-  phase_line mn;
-  let identical = o1 = on in
-  Printf.printf "  outcomes bit-identical across job counts: %b\n" identical;
+  (* Sweep chunk granularity at jobs=N: chunk=1 is the old per-testcase
+     dispatch (maximum scheduling freedom, maximum overhead), auto is
+     ~2 slices per worker, chunk=batch degenerates to one task (no
+     parallelism beyond the first worker). The headline number is the
+     auto-chunk entry — the default users get. *)
+  let sweep_points =
+    [ (jobs_n, Some 1); (jobs_n, None); (jobs_n, Some batch) ]
+  in
+  let sweep =
+    List.map
+      (fun (jobs, chunk) ->
+        let (o, m), t = time_it (fun () -> campaign jobs chunk) in
+        let sp = t1 /. t in
+        let identical = o = o1 in
+        Printf.printf "  jobs=%-3d chunk=%-5s %6.2fs  (%.2fx)\n%!" jobs
+          (chunk_label chunk) t sp;
+        phase_line m;
+        (jobs, chunk, t, sp, identical, m))
+      sweep_points
+  in
+  let identical = List.for_all (fun (_, _, _, _, id, _) -> id) sweep in
+  Printf.printf "  outcomes bit-identical across all (jobs, chunk): %b\n"
+    identical;
+  let _, _, tn, headline, _, mn =
+    List.find (fun (_, chunk, _, _, _, _) -> chunk = None) sweep
+  in
   let doc =
     Sonar.Json.Obj
       [
         ("dut", Sonar.Json.String cfg.Sonar_uarch.Config.name);
         ("iterations", Sonar.Json.Int iters);
-        ("batch", Sonar.Json.Int Sonar.Fuzzer.default_batch);
+        ("batch", Sonar.Json.Int batch);
+        ("chunk", Sonar.Json.String "auto");
         ("jobs", Sonar.Json.Int jobs_n);
+        ("host_cores", Sonar.Json.Int host_cores);
         ("seconds_jobs1", Sonar.Json.Float t1);
         ("seconds_jobsN", Sonar.Json.Float tn);
-        ("speedup", Sonar.Json.Float speedup);
+        ("speedup", Sonar.Json.Float headline);
         ("identical_outcomes", Sonar.Json.Bool identical);
+        ( "sweep",
+          Sonar.Json.List
+            (List.map
+               (fun (jobs, chunk, t, sp, id, _) ->
+                 Sonar.Json.Obj
+                   [
+                     ("jobs", Sonar.Json.Int jobs);
+                     ("chunk", chunk_json chunk);
+                     ("seconds", Sonar.Json.Float t);
+                     ("speedup", Sonar.Json.Float sp);
+                     ("identical", Sonar.Json.Bool id);
+                   ])
+               sweep) );
         ("final_coverage", Sonar.Json.Float o1.Sonar.Fuzzer.final_coverage);
         ("final_timing_diffs", Sonar.Json.Int o1.final_timing_diffs);
         ("phases_jobs1", Sonar.Telemetry.Metrics.to_json m1);

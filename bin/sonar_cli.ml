@@ -122,8 +122,22 @@ let analyze dut format profile =
 (* ------------------------------------------------------------------ *)
 (* fuzz                                                                *)
 
-let fuzz dut iterations seed random_mode dual jobs batch trace timings stats
-    progress format =
+(* Strict validation: a nonsensical value is a user error, not something to
+   silently clamp — a clamped `--jobs 0` would report jobs=1 results under a
+   flag that said otherwise. *)
+let positive_or_die ~flag = function
+  | Some v when v < 1 ->
+      Printf.eprintf "sonar fuzz: %s must be >= 1 (got %d)\n" flag v;
+      exit 1
+  | v -> v
+
+let fuzz dut iterations seed random_mode dual jobs batch chunk trace timings
+    stats progress format =
+  let jobs = positive_or_die ~flag:"--jobs" jobs in
+  let batch =
+    Option.get (positive_or_die ~flag:"--batch" (Some batch))
+  in
+  let chunk = positive_or_die ~flag:"--chunk" chunk in
   match config_of_name dut with
   | Error (`Msg m) -> prerr_endline m; 1
   | Ok cfg ->
@@ -132,7 +146,7 @@ let fuzz dut iterations seed random_mode dual jobs batch trace timings stats
         else Sonar.Fuzzer.full_strategy
       in
       let jobs =
-        match jobs with Some j -> max 1 j | None -> Sonar.Domain_pool.default_jobs ()
+        match jobs with Some j -> j | None -> Sonar.Domain_pool.default_jobs ()
       in
       let trace_sink =
         Option.map (fun path -> Telemetry.jsonl_file ~timings path) trace
@@ -155,6 +169,7 @@ let fuzz dut iterations seed random_mode dual jobs batch trace timings stats
           dual;
           jobs;
           batch;
+          chunk;
           sinks;
         }
       in
@@ -181,6 +196,10 @@ let fuzz dut iterations seed random_mode dual jobs batch trace timings stats
               ("dual", Json.Bool dual);
               ("jobs", Json.Int jobs);
               ("batch", Json.Int batch);
+              ( "chunk",
+                match chunk with
+                | Some c -> Json.Int c
+                | None -> Json.String "auto" );
             ]
           in
           let outcome_fields =
@@ -356,6 +375,17 @@ let fuzz_cmd =
             "Generation size (candidates drawn before feedback lands). \
              Shapes the campaign; keep it fixed when comparing runs.")
   in
+  let chunk =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "chunk" ] ~docv:"N"
+          ~doc:
+            "Testcases per parallel executor task (a slice of the \
+             generation). Default: derived from --jobs (about two slices \
+             per worker). Results are identical for every N; only \
+             wall-clock changes.")
+  in
   let trace =
     Arg.(
       value
@@ -398,7 +428,7 @@ let fuzz_cmd =
   Cmd.v (Cmd.info "fuzz" ~doc)
     Term.(
       const fuzz $ dut_arg $ iters $ seed $ random_mode $ dual $ jobs $ batch
-      $ trace $ timings $ stats $ progress $ format_arg)
+      $ chunk $ trace $ timings $ stats $ progress $ format_arg)
 
 let report_cmd =
   let doc = "build an offline report from a JSONL telemetry trace" in

@@ -48,3 +48,34 @@ val await : 'a future -> 'a
 
 val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
 (** Parallel [List.map]: submit one task per element, await in order. *)
+
+(** {2 Worker-local storage}
+
+    Scratch state a task can reuse across the tasks that happen to run on
+    the same domain — e.g. the executor's per-worker {!Sonar_uarch.Machine.Ctx}
+    run contexts, which keep the simulation hot loop from re-allocating
+    cache and contention-point tables on every testcase. Values are
+    per-domain (the helping {!await} means the submitting domain can also
+    run tasks, and gets its own value), initialised lazily on first {!get}.
+
+    Determinism caveat: worker-local values persist across tasks, so a task
+    must never let them influence its {e result} — only its speed. Reused
+    contexts are reset to cold start at acquisition and tested to be
+    bit-identical to fresh ones. *)
+
+type 'a key
+
+val create_key : (unit -> 'a) -> 'a key
+(** [create_key init] declares a worker-local slot; each domain that calls
+    {!get} materialises its own value with [init] on first access. *)
+
+val get : 'a key -> 'a
+(** This domain's value for [key], created with the key's initialiser on
+    first access. Usable from pool workers and ordinary domains alike. *)
+
+val run_on_each : t -> (unit -> unit) -> unit
+(** Run [f] exactly once on every worker domain of the pool and wait for
+    all of them — e.g. to eagerly initialise worker-local state before a
+    timed section. Blocks until every worker has run [f]; do not call it
+    while long-running tasks are still queued (the barrier waits for every
+    worker to become available). *)

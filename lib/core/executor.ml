@@ -67,45 +67,97 @@ let observe_intervals hists pair =
       Telemetry.Histogram.observe hists ~point ~src_pair v)
     (min_intervals pair)
 
-let execute_batch ?max_cycles ?pool ?emit ?hists cfg tcs =
+(* Worker-local scratch: one reusable [Machine.Ctx] per (domain, config).
+   Contexts are reset to cold start at every acquisition inside
+   [Machine.run], so results are bit-identical to fresh machines (tested);
+   keeping them domain-local means the hot loop re-allocates neither cache
+   line arrays nor contention-point tables per testcase, which is what
+   stops stop-the-world minor collections from serialising the pool. *)
+let scratch_key : (string, Machine.Ctx.t) Hashtbl.t Domain_pool.key =
+  Domain_pool.create_key (fun () -> Hashtbl.create 4)
+
+let scratch_ctx (cfg : Config.t) =
+  let tbl = Domain_pool.get scratch_key in
+  match Hashtbl.find_opt tbl cfg.Config.name with
+  | Some ctx when Machine.Ctx.config ctx == cfg || Machine.Ctx.config ctx = cfg
+    ->
+      ctx
+  | Some _ | None ->
+      let ctx = Machine.Ctx.create cfg in
+      Hashtbl.replace tbl cfg.Config.name ctx;
+      ctx
+
+(* Both secret-runs of one testcase, on this domain's scratch context, in
+   the same order as the sequential path (secret 0 then 1). *)
+let run_pair_scratch ?max_cycles cfg tc =
+  let ctx = scratch_ctx cfg in
+  let run0 = Machine.run ?max_cycles ~ctx cfg (Testcase.materialize tc ~secret:0) in
+  let run1 = Machine.run ?max_cycles ~ctx cfg (Testcase.materialize tc ~secret:1) in
+  { run0; run1 }
+
+let auto_chunk ~jobs n =
+  (* Aim for ~2 slices per worker: coarse enough that per-task dispatch and
+     future plumbing are amortised over many simulated runs, fine enough
+     that an expensive straggler testcase does not idle the other workers
+     at the generation barrier. *)
+  max 1 ((n + (2 * jobs) - 1) / (2 * jobs))
+
+let rec chunk_list k = function
+  | [] -> []
+  | xs ->
+      let rec take acc i = function
+        | rest when i = k -> (List.rev acc, rest)
+        | [] -> (List.rev acc, [])
+        | x :: rest -> take (x :: acc) (i + 1) rest
+      in
+      let slice, rest = take [] 0 xs in
+      slice :: chunk_list k rest
+
+let execute_batch ?max_cycles ?pool ?chunk ?emit ?hists cfg tcs =
+  (match chunk with
+  | Some c when c < 1 ->
+      invalid_arg "Executor.execute_batch: chunk must be >= 1"
+  | Some _ | None -> ());
   let observe pair =
     match hists with Some h -> observe_intervals h pair | None -> ()
   in
+  let finish tc pair =
+    (match emit with Some emit -> emit (executed_event tc pair) | None -> ());
+    observe pair;
+    pair
+  in
   match pool with
   | None ->
-      List.map
-        (fun tc ->
-          let pair = execute ?max_cycles ?emit cfg tc in
-          observe pair;
-          pair)
-        tcs
+      (* Sequential path: same scratch reuse as the workers (the calling
+         domain has its own worker-local context), so jobs=1 enjoys the
+         allocation win too and the jobs comparison isolates parallelism. *)
+      List.map (fun tc -> finish tc (run_pair_scratch ?max_cycles cfg tc)) tcs
   | Some pool ->
-      (* Fan both secret-runs of every testcase across the pool, then
-         assemble pairs in submission order. [Machine.run] allocates all of
-         its mutable state (cores, memsys, cpoint registries) per call, so
-         the runs are independent; see domain_pool.mli. Telemetry is only
-         ever emitted here, on the awaiting domain, per candidate in
-         submission order — never from a worker — so traces are identical
-         to the sequential path's. *)
+      (* Chunked fan-out: one pool task is a slice of the generation — both
+         secret-runs of ~[chunk] candidates — not a single run, so the
+         per-task submit/await cost is amortised over many simulated runs.
+         Each task runs on some worker's scratch context. Results are
+         assembled, and telemetry emitted, here on the awaiting domain, per
+         candidate in submission order — never from a worker — so outcomes,
+         histograms and traces are bit-identical for every (jobs, chunk). *)
+      let chunk =
+        match chunk with
+        | Some c -> c
+        | None -> auto_chunk ~jobs:(Domain_pool.jobs pool) (List.length tcs)
+      in
       let futures =
         List.map
-          (fun tc ->
-            let run secret () =
-              Machine.run ?max_cycles cfg (Testcase.materialize tc ~secret)
-            in
-            (tc, Domain_pool.submit pool (run 0), Domain_pool.submit pool (run 1)))
-          tcs
+          (fun slice ->
+            let slice_arr = Array.of_list slice in
+            ( slice,
+              Domain_pool.submit pool (fun () ->
+                  Array.map (run_pair_scratch ?max_cycles cfg) slice_arr) ))
+          (chunk_list chunk tcs)
       in
-      List.map
-        (fun (tc, f0, f1) ->
-          let pair =
-            { run0 = Domain_pool.await f0; run1 = Domain_pool.await f1 }
-          in
-          (match emit with
-          | Some emit -> emit (executed_event tc pair)
-          | None -> ());
-          observe pair;
-          pair)
+      List.concat_map
+        (fun (slice, future) ->
+          let pairs = Domain_pool.await future in
+          List.mapi (fun i tc -> finish tc pairs.(i)) slice)
         futures
 
 (* Monomorphic comparator for [triggered]: identical ordering to polymorphic

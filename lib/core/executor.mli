@@ -26,25 +26,42 @@ val execute :
 (** [emit] receives one {!Telemetry.event.Testcase_executed} after the two
     secret-runs complete. *)
 
+val auto_chunk : jobs:int -> int -> int
+(** [auto_chunk ~jobs n] is the chunk size {!execute_batch} derives when
+    none is given for a batch of [n] testcases on a [jobs]-worker pool:
+    [n] split into roughly two slices per worker ([ceil (n / (2*jobs))],
+    at least 1) — coarse enough to amortise per-task dispatch over many
+    simulated runs, fine enough that a straggler slice does not idle the
+    pool at the generation barrier. *)
+
 val execute_batch :
   ?max_cycles:int ->
   ?pool:Domain_pool.t ->
+  ?chunk:int ->
   ?emit:(Telemetry.event -> unit) ->
   ?hists:Telemetry.Histogram.registry ->
   Sonar_uarch.Config.t ->
   Testcase.t list ->
   pair list
-(** Execute every testcase, fanning the two secret-runs inside each pair
-    across [pool] (sequential when no pool is given). Results are in input
-    order and element-wise identical to {!execute} per testcase: each
-    [Machine.run] allocates all of its mutable state per call, so the runs
-    share nothing. [emit] is invoked only from the calling domain, one
-    {!Telemetry.event.Testcase_executed} per testcase in input order —
-    identical for every pool size. [hists] accumulates each pair's
-    {!min_intervals} into the observatory's per-(point, source-pair)
-    histogram registry, likewise on the calling domain in input order, so
-    the resulting distributions — and the trace events flushed from them —
-    are independent of the pool size. *)
+(** Execute every testcase; with [pool], fan the batch across it in
+    {e chunks} — one pool task runs both secret-runs of a slice of
+    [chunk] testcases (default {!auto_chunk}) on its worker's reusable
+    {!Sonar_uarch.Machine.Ctx} scratch context, kept in
+    {!Domain_pool} worker-local storage so the hot loop allocates no
+    cache or contention-point tables per testcase. Sequential when no
+    pool is given (the calling domain reuses its own scratch context).
+
+    Results are in input order and element-wise identical to {!execute}
+    per testcase for {e every} [(jobs, chunk)] value: a reused context is
+    reset to cold start per run and behaves bit-identically to a fresh
+    machine (tested). [emit] is invoked only from the calling domain, one
+    {!Telemetry.event.Testcase_executed} per testcase in input order.
+    [hists] accumulates each pair's {!min_intervals} likewise on the
+    calling domain in input order, so the resulting distributions — and
+    the trace events flushed from them — are independent of both pool
+    size and chunking.
+
+    @raise Invalid_argument when [chunk < 1]. *)
 
 val min_intervals : pair -> ((string * int) * int) list
 (** Per (contention point, source pair), the smaller of the two runs'

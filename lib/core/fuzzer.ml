@@ -24,7 +24,10 @@ type outcome = {
   reports : (int * Detector.report) list;
 }
 
-let default_batch = 8
+(* Sized for the compiled engine: one testcase is cheap enough that
+   feedback at a finer granularity buys nothing, while a larger generation
+   gives the chunked parallel executor full slices to hand each worker. *)
+let default_batch = 64
 
 module Options = struct
   type t = {
@@ -33,6 +36,7 @@ module Options = struct
     max_cycles : int option;
     jobs : int;
     batch : int;
+    chunk : int option;
     sinks : Telemetry.sink list;
   }
 
@@ -43,6 +47,7 @@ module Options = struct
       max_cycles = None;
       jobs = 1;
       batch = default_batch;
+      chunk = None;
       sinks = [];
     }
 end
@@ -57,9 +62,12 @@ type candidate = {
 }
 
 let run ?(options = Options.default) cfg strategy ~iterations =
-  let { Options.seed; dual; max_cycles; jobs; batch; sinks } = options in
+  let { Options.seed; dual; max_cycles; jobs; batch; chunk; sinks } = options in
   if batch < 1 then invalid_arg "Fuzzer.run: batch must be >= 1";
   if jobs < 1 then invalid_arg "Fuzzer.run: jobs must be >= 1";
+  (match chunk with
+  | Some c when c < 1 -> invalid_arg "Fuzzer.run: chunk must be >= 1"
+  | Some _ | None -> ());
   (* With no sinks, no event is ever constructed: the telemetry layer costs
      nothing on the hot path and the outcome is bit-identical to a run that
      predates it (asserted in the tests). *)
@@ -215,7 +223,8 @@ let run ?(options = Options.default) cfg strategy ~iterations =
       let t1 = now () in
       let end_execute = span "execute" in
       let pairs =
-        Executor.execute_batch ?max_cycles ?pool ?emit:emit_opt ?hists cfg
+        Executor.execute_batch ?max_cycles ?pool ?chunk ?emit:emit_opt ?hists
+          cfg
           (List.map (fun c -> c.cand_tc) candidates)
       in
       end_execute ();

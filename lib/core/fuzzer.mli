@@ -18,11 +18,13 @@
     {b Parallel execution.} The loop is organised in {e generations}: each
     generation draws [batch] candidates sequentially (each from its own
     {!Rng.split} stream), executes them across a {!Domain_pool} of [jobs]
-    workers, then folds coverage / corpus / detector / mutation-feedback
-    updates sequentially in candidate order. Selection and directed
-    mutation therefore react to feedback at generation granularity, and the
-    outcome is a pure function of (seed, strategy, iterations, batch) —
-    bit-identical for every [jobs] value.
+    workers in chunked slices of [chunk] candidates per task (each worker
+    reusing a domain-local {!Sonar_uarch.Machine.Ctx} scratch context),
+    then folds coverage / corpus / detector / mutation-feedback updates
+    sequentially in candidate order. Selection and directed mutation
+    therefore react to feedback at generation granularity, and the outcome
+    is a pure function of (seed, strategy, iterations, batch) —
+    bit-identical for every [jobs] and [chunk] value.
 
     {b Telemetry.} When {!Options.t.sinks} is non-empty, the campaign
     streams {!Telemetry.event}s: generation boundaries, phase timings,
@@ -65,7 +67,9 @@ type outcome = {
 }
 
 val default_batch : int
-(** Generation size used when [batch] is not given (8). *)
+(** Generation size used when [batch] is not given (64 — sized for the
+    compiled engine, where single testcases are cheap and the chunked
+    parallel executor wants whole slices per worker). *)
 
 (** Campaign configuration. Build one with a record update of
     {!Options.default} so adding fields stays source-compatible:
@@ -82,6 +86,10 @@ module Options : sig
         (** generation size; {e does} shape the campaign — feedback lands
             at generation boundaries — keep it fixed when comparing runs
             (default {!default_batch}) *)
+    chunk : int option;
+        (** testcases per parallel executor task (a {e slice} of the
+            generation); wall-clock only, never the outcome. [None]
+            (default) derives {!Executor.auto_chunk} from [jobs] *)
     sinks : Telemetry.sink list;
         (** telemetry destinations (default [[]]: zero overhead) *)
   }
@@ -97,8 +105,10 @@ val run :
   outcome
 (** Run a campaign. The outcome is a pure function of
     ([options.seed], [strategy], [iterations], [options.batch], and the
-    DUT config); sinks observe the campaign but never influence it.
-    @raise Invalid_argument when [options.batch] or [options.jobs] < 1. *)
+    DUT config) — [jobs] and [chunk] change only the wall-clock; sinks
+    observe the campaign but never influence it.
+    @raise Invalid_argument when [options.batch], [options.jobs], or
+    [options.chunk] < 1. *)
 
 val json_of_outcome : outcome -> Json.t
 (** Stable JSON form of an outcome (the CLI's [--format json] document;

@@ -133,7 +133,12 @@ let is_dirty t addr =
 let recently_evicted t addr =
   Hashtbl.find_opt t.evicted (set_index t addr, tag_of t addr)
 
-let flush t =
+let reset t =
+  (* Restores the cold-start state exactly: stale [tag]/[lru]/[info] on
+     invalidated lines are never read before being overwritten by [fill]
+     (victim selection among invalid ways ignores them), but [tick] feeds
+     every line's LRU stamp, so it must rewind for reuse to be
+     bit-identical to a fresh cache. *)
   Array.iter
     (fun set ->
       Array.iter
@@ -142,4 +147,5 @@ let flush t =
           l.dirty <- false)
         set)
     t.sets;
+  t.tick <- 0;
   Hashtbl.reset t.evicted

@@ -39,4 +39,9 @@ val recently_evicted : t -> int64 -> (int * bool) option
     sequence number of the instruction whose fill evicted it and that
     fill's taint (S12). *)
 
-val flush : t -> unit
+val reset : t -> unit
+(** Return the cache to its cold-start state (all lines invalid and clean,
+    LRU clock rewound, eviction history cleared) without reallocating the
+    line arrays. A reset cache behaves bit-identically to a fresh
+    {!create} of the same configuration — the property the reusable
+    {!Machine.Ctx} run contexts rely on. *)

@@ -41,6 +41,31 @@ let create config =
     last_open = None;
   }
 
+let reset_point p =
+  Array.fill p.last_valid 0 (Array.length p.last_valid) (-1);
+  Array.fill p.hits 0 (Array.length p.hits) 0;
+  Array.fill p.last_tainted 0 (Array.length p.last_tainted) false;
+  p.min_pair <- None;
+  p.min_self <- None;
+  p.active_sources <- 0;
+  p.single_valid_dominated <- true;
+  Hashtbl.reset p.triggered;
+  Hashtbl.reset p.pair_min;
+  p.digest <- Hashtbl.hash p.name;
+  p.event_count <- 0
+
+let reset reg =
+  (* Registered points survive a reset (registration is structural: it
+     depends only on the config and core count, never on the program), but
+     every per-run observation is rewound to the state [create] + fresh
+     [point] calls would produce — reuse must be bit-identical to a fresh
+     registry. *)
+  List.iter reset_point reg.order;
+  reg.cycle <- 0;
+  reg.open_ <- false;
+  reg.first_open <- None;
+  reg.last_open <- None
+
 (* Sub-point granularity: each (source pair, data bucket) combination is a
    distinct netlist sub-point. Wide arbiters route many data fields through
    many MUX bits, so distinct data classes exercise distinct netlist MUXes;

@@ -57,6 +57,15 @@ type registry
 
 val create : Config.t -> registry
 
+val reset : registry -> unit
+(** Rewind every registered point's observations (hits, intervals,
+    triggered sub-points, digests) and the registry's window/cycle state to
+    cold start, keeping the registered points themselves. Because point
+    registration is structural — a function of the config and core count
+    only — a reset registry behaves bit-identically to a fresh one; this is
+    what lets {!Machine.Ctx} reuse a registry across runs without
+    reallocating its tables. *)
+
 val point :
   registry ->
   name:string ->

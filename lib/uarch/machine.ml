@@ -32,6 +32,35 @@ and point_stat = {
 
 let default_max_cycles = 200_000
 
+module Ctx = struct
+  type slot = { s_reg : Cpoint.registry; s_ms : Memsys.t }
+
+  type t = {
+    ctx_cfg : Config.t;
+    mutable slots : (int * slot) list;  (* keyed by core count (1 or 2) *)
+  }
+
+  let create cfg = { ctx_cfg = cfg; slots = [] }
+  let config t = t.ctx_cfg
+
+  (* Acquire the (registry, memsys) pair for this core count, reset to cold
+     start; allocate it on first use. The dominant per-run allocations —
+     cache line arrays (the L2 alone is thousands of line records) and the
+     contention-point tables — happen once per (context, core count)
+     instead of twice per testcase. *)
+  let slot t ~cores =
+    match List.assoc_opt cores t.slots with
+    | Some { s_reg; s_ms } ->
+        Cpoint.reset s_reg;
+        Memsys.reset s_ms;
+        (s_reg, s_ms)
+    | None ->
+        let reg = Cpoint.create t.ctx_cfg in
+        let ms = Memsys.create t.ctx_cfg reg ~cores in
+        t.slots <- (cores, { s_reg = reg; s_ms = ms }) :: t.slots;
+        (reg, ms)
+end
+
 let point_stat (p : Cpoint.t) =
   {
     ps_name = p.name;
@@ -46,11 +75,19 @@ let point_stat (p : Cpoint.t) =
     ps_pair_intervals = Cpoint.pair_intervals p;
   }
 
-let run ?(max_cycles = default_max_cycles) cfg inputs =
+let run ?(max_cycles = default_max_cycles) ?ctx cfg inputs =
   let n = Array.length inputs in
   if n < 1 || n > 2 then invalid_arg "Machine.run: 1 or 2 cores";
-  let reg = Cpoint.create cfg in
-  let ms = Memsys.create cfg reg ~cores:n in
+  let reg, ms =
+    match ctx with
+    | None ->
+        let reg = Cpoint.create cfg in
+        (reg, Memsys.create cfg reg ~cores:n)
+    | Some ctx ->
+        if not (Ctx.config ctx == cfg || Ctx.config ctx = cfg) then
+          invalid_arg "Machine.run: ctx was created for a different config";
+        Ctx.slot ctx ~cores:n
+  in
   let cores =
     Array.mapi
       (fun i input ->

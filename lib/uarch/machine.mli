@@ -42,9 +42,29 @@ and point_stat = {
 
 val default_max_cycles : int
 
+(** Reusable run context: caches the contention-point registry and memory
+    hierarchy (the dominant per-run heap allocations — cache line arrays,
+    point tables) across {!run} calls, resetting them to cold start at each
+    acquisition. A context is {e not} thread-safe: keep one per domain (the
+    executor keeps one per worker via the {!Sonar.Domain_pool} worker-local
+    storage API). Results are bit-identical with and without a context —
+    asserted by the tests — so reuse is purely a throughput optimisation:
+    it is what keeps the parallel execute phase from serialising on
+    stop-the-world minor collections. *)
+module Ctx : sig
+  type t
+
+  val create : Config.t -> t
+  (** Cheap; the underlying registry/hierarchy is allocated lazily on the
+      first {!run} per core count. *)
+
+  val config : t -> Config.t
+end
+
 val run :
-  ?max_cycles:int -> Config.t -> core_input array -> result
-(** @raise Invalid_argument on 0 or more than 2 cores. *)
+  ?max_cycles:int -> ?ctx:Ctx.t -> Config.t -> core_input array -> result
+(** @raise Invalid_argument on 0 or more than 2 cores, or when [ctx] was
+    created for a different configuration. *)
 
 val run_single :
   ?max_cycles:int ->

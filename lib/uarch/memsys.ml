@@ -113,6 +113,26 @@ let create (cfg : Config.t) reg ~cores =
     p_dport = per_core "lsu.dcache_port" Lsu [ "load"; "store" ] ();
   }
 
+let reset t =
+  (* Rewind all run state to what [create] builds, reusing every array,
+     cache line and hashtable. The contention points themselves are reset
+     through their registry ([Cpoint.reset]); this only clears the memory
+     hierarchy. Paired with a registry reset, a reused memsys is
+     bit-identical in behavior to a freshly created one. *)
+  Array.iter Cache.reset t.l1i;
+  Array.iter Cache.reset t.l1d;
+  Cache.reset t.l2;
+  t.transfers <- [];
+  t.channel_busy_until <- 0;
+  Array.iter (fun m -> Array.fill m 0 (Array.length m) None) t.mshrs;
+  Hashtbl.reset t.load_waiters;
+  Hashtbl.reset t.store_waiters;
+  Hashtbl.reset t.load_ready_tbl;
+  Hashtbl.reset t.store_ready_tbl;
+  Hashtbl.reset t.ifetch_ready_tbl;
+  Array.fill t.icache_port_busy 0 (Array.length t.icache_port_busy) (-1);
+  Array.fill t.write_lb_busy 0 (Array.length t.write_lb_busy) (-1)
+
 let find_transfer t ~core ~kind ~line =
   List.find_opt
     (fun tr ->

@@ -29,6 +29,13 @@ type access_result =
 
 val create : Config.t -> Cpoint.registry -> cores:int -> t
 
+val reset : t -> unit
+(** Rewind caches, MSHRs, in-flight transfers, waiter tables and port
+    busy-state to cold start without reallocating anything. Must be paired
+    with {!Cpoint.reset} on the owning registry; together they make a
+    reused hierarchy bit-identical in behavior to a fresh {!create} — the
+    contract behind {!Machine.Ctx} run-context reuse. *)
+
 val ifetch :
   t -> core:int -> addr:int64 -> cycle:int -> tainted:bool -> access_result
 (** [tainted] marks accesses on behalf of secret-dependent instructions;

@@ -300,6 +300,101 @@ let test_fuzzer_jobs_bit_identical () =
   checkb "bit-identical outcome for jobs=1 vs jobs=4" true
     (sequential = parallel)
 
+let test_fuzzer_jobs_chunk_matrix () =
+  (* jobs and chunk are both wall-clock-only knobs: the outcome — series,
+     coverage, reports — is a pure function of (seed, strategy, iterations,
+     batch) for every combination. batch=8 keeps the campaign
+     multi-generation so feedback boundaries are exercised. *)
+  let batch = 8 in
+  let run jobs chunk =
+    Fuzzer.run
+      ~options:{ Fuzzer.Options.default with seed = 17L; jobs; batch; chunk }
+      Sonar_uarch.Config.nutshell Fuzzer.full_strategy ~iterations:18
+  in
+  let reference = run 1 None in
+  List.iter
+    (fun jobs ->
+      List.iter
+        (fun chunk ->
+          checkb
+            (Printf.sprintf "bit-identical outcome (jobs=%d chunk=%s)" jobs
+               (match chunk with Some c -> string_of_int c | None -> "auto"))
+            true
+            (run jobs chunk = reference))
+        [ None; Some 1; Some 4; Some batch ])
+    [ 1; 2; 3 ]
+
+let test_auto_chunk () =
+  (* ~2 slices per worker, never below 1, and the slices always cover the
+     whole batch. *)
+  checki "64 candidates on 2 workers" 16 (Executor.auto_chunk ~jobs:2 64);
+  checki "ceiling division" 6 (Executor.auto_chunk ~jobs:3 31);
+  checki "tiny batch still one testcase per task" 1
+    (Executor.auto_chunk ~jobs:8 3);
+  List.iter
+    (fun (jobs, n) ->
+      let c = Executor.auto_chunk ~jobs n in
+      checkb (Printf.sprintf "chunk >= 1 (jobs=%d n=%d)" jobs n) true (c >= 1);
+      let slices = (n + c - 1) / c in
+      checkb
+        (Printf.sprintf "at most 2*jobs slices (jobs=%d n=%d)" jobs n)
+        true
+        (n = 0 || slices <= 2 * jobs))
+    [ (1, 1); (1, 64); (2, 64); (3, 17); (4, 64); (16, 5); (2, 0) ]
+
+let test_executor_chunk_validation () =
+  let cfg = Sonar_uarch.Config.nutshell in
+  checkb "chunk=0 rejected" true
+    (match Executor.execute_batch ~chunk:0 cfg [] with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_worker_local_storage () =
+  let key = Sonar.Domain_pool.create_key (fun () -> ref 0) in
+  Sonar.Domain_pool.with_pool ~jobs:3 (fun pool ->
+      (* run_on_each visits every worker exactly once per call, and each
+         worker keeps its own slot across calls. *)
+      let bump () = incr (Sonar.Domain_pool.get key) in
+      Sonar.Domain_pool.run_on_each pool bump;
+      Sonar.Domain_pool.run_on_each pool bump;
+      let m = Mutex.create () in
+      let counts = ref [] in
+      Sonar.Domain_pool.run_on_each pool (fun () ->
+          let v = !(Sonar.Domain_pool.get key) in
+          Mutex.lock m;
+          counts := v :: !counts;
+          Mutex.unlock m);
+      Alcotest.(check (list int))
+        "every worker bumped its own slot twice" [ 2; 2; 2 ]
+        (List.sort compare !counts));
+  (* The calling domain has a slot of its own, untouched by the workers. *)
+  checki "caller slot independent" 0 !(Sonar.Domain_pool.get key)
+
+let minor_words_during f =
+  let before = Gc.minor_words () in
+  f ();
+  Gc.minor_words () -. before
+
+let test_executor_scratch_allocates_less () =
+  (* The batch path runs on a reused worker-local Machine.Ctx, so it must
+     allocate substantially less than per-testcase fresh machines — the
+     cache line arrays and contention-point tables dominate a fresh run's
+     minor-heap traffic (measured ~0.5x on boom; 0.75 leaves slack). *)
+  let rng = Rng.create 31L in
+  let tcs = List.init 4 (fun i -> Testcase.random rng ~id:(i + 1) ~dual:false) in
+  let cfg = Sonar_uarch.Config.boom in
+  ignore (Executor.execute_batch cfg tcs);
+  let fresh =
+    minor_words_during (fun () ->
+        List.iter (fun tc -> ignore (Executor.execute cfg tc)) tcs)
+  in
+  let reused = minor_words_during (fun () -> ignore (Executor.execute_batch cfg tcs)) in
+  checkb
+    (Printf.sprintf "scratch path allocates less (fresh %.0f, reused %.0f)"
+       fresh reused)
+    true
+    (reused < 0.75 *. fresh)
+
 let test_executor_batch_matches_sequential () =
   let rng = Rng.create 21L in
   let tcs = List.init 6 (fun i -> Testcase.random rng ~id:(i + 1) ~dual:false) in
@@ -463,9 +558,18 @@ let () =
       ( "parallel",
         [
           Alcotest.test_case "domain pool basics" `Quick test_domain_pool_basics;
+          Alcotest.test_case "worker-local storage" `Quick
+            test_worker_local_storage;
           Alcotest.test_case "batch matches sequential" `Quick
             test_executor_batch_matches_sequential;
+          Alcotest.test_case "auto chunk sizing" `Quick test_auto_chunk;
+          Alcotest.test_case "chunk validation" `Quick
+            test_executor_chunk_validation;
+          Alcotest.test_case "scratch context allocates less" `Quick
+            test_executor_scratch_allocates_less;
           Alcotest.test_case "jobs bit-identical" `Quick test_fuzzer_jobs_bit_identical;
+          Alcotest.test_case "jobs x chunk bit-identical" `Quick
+            test_fuzzer_jobs_chunk_matrix;
         ] );
       ( "mutation",
         [

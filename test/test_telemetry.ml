@@ -388,16 +388,17 @@ let test_span_tree_merging () =
 
 let nutshell = Sonar_uarch.Config.nutshell
 
-let campaign ?(sinks = []) ?(jobs = 1) ~iterations () =
+let campaign ?(sinks = []) ?(jobs = 1) ?(batch = Fuzzer.Options.default.batch)
+    ?chunk ~iterations () =
   Fuzzer.run
-    ~options:{ Fuzzer.Options.default with seed = 23L; jobs; sinks }
+    ~options:{ Fuzzer.Options.default with seed = 23L; jobs; batch; chunk; sinks }
     nutshell Fuzzer.full_strategy ~iterations
 
 (* --- aggregator vs a hand-run campaign --- *)
 
 let test_aggregator_matches_outcome () =
   let sink, snap = Telemetry.aggregator () in
-  let o = campaign ~sinks:[ sink ] ~iterations:30 () in
+  let o = campaign ~sinks:[ sink ] ~batch:8 ~iterations:30 () in
   let m = snap () in
   checki "one executed event per iteration" 30 m.Telemetry.Metrics.testcases;
   checki "generations = ceil(30/8)" 4 m.generations;
@@ -415,14 +416,14 @@ let test_aggregator_matches_outcome () =
 
 (* --- JSONL trace: parser round-trip and jobs-determinism --- *)
 
-let trace_lines ~jobs ~iterations =
+let trace_lines ?batch ?chunk ~jobs ~iterations () =
   let lines = ref [] in
   let sink = Telemetry.jsonl (fun s -> lines := s :: !lines) in
-  ignore (campaign ~sinks:[ sink ] ~jobs ~iterations ());
+  ignore (campaign ~sinks:[ sink ] ?batch ?chunk ~jobs ~iterations ());
   List.rev !lines
 
 let test_jsonl_roundtrip () =
-  let lines = trace_lines ~jobs:1 ~iterations:16 in
+  let lines = trace_lines ~jobs:1 ~iterations:16 () in
   checkb "trace not empty" true (lines <> []);
   List.iter
     (fun line ->
@@ -441,12 +442,29 @@ let test_jsonl_roundtrip () =
        lines)
 
 let test_trace_jobs_deterministic () =
-  (* The acceptance property: the JSONL trace is byte-identical for jobs=1
-     vs jobs=2 at fixed seed/batch (Phase_timing is excluded by default). *)
-  let a = trace_lines ~jobs:1 ~iterations:24 in
-  let b = trace_lines ~jobs:2 ~iterations:24 in
-  checki "same event count" (List.length a) (List.length b);
-  checks "byte-identical traces" (String.concat "\n" a) (String.concat "\n" b)
+  (* The acceptance property: the JSONL trace is byte-identical for every
+     (jobs, chunk) at fixed seed/batch — both knobs are wall-clock only
+     (Phase_timing is excluded by default). batch=8 keeps the campaign
+     multi-generation so generation events are exercised too. *)
+  let batch = 8 in
+  let reference =
+    String.concat "\n" (trace_lines ~batch ~jobs:1 ~iterations:24 ())
+  in
+  checkb "trace not empty" true (reference <> "");
+  List.iter
+    (fun jobs ->
+      List.iter
+        (fun chunk ->
+          let t =
+            String.concat "\n"
+              (trace_lines ~batch ?chunk ~jobs ~iterations:24 ())
+          in
+          checks
+            (Printf.sprintf "byte-identical trace (jobs=%d chunk=%s)" jobs
+               (match chunk with Some c -> string_of_int c | None -> "auto"))
+            reference t)
+        [ None; Some 1; Some 4; Some batch ])
+    [ 1; 2; 3 ]
 
 let test_jsonl_timings_opt_in () =
   let count ~timings =
@@ -603,7 +621,7 @@ let test_progress_reports () =
   let path = Filename.temp_file "sonar_progress" ".txt" in
   let oc = open_out path in
   let sink = Telemetry.progress ~out:oc ~every:8 ~total:16 () in
-  ignore (campaign ~sinks:[ sink ] ~iterations:16 ());
+  ignore (campaign ~sinks:[ sink ] ~batch:8 ~iterations:16 ());
   close_out oc;
   let ic = open_in path in
   let len = in_channel_length ic in
@@ -640,6 +658,7 @@ let test_options_record_equivalences () =
           max_cycles = None;
           jobs = 1;
           batch = 5;
+          chunk = None;
           sinks = [];
         }
       nutshell Fuzzer.full_strategy ~iterations:15
@@ -656,14 +675,15 @@ let test_null_sink_not_observable () =
   checkb "aggregator: identical outcome" true (bare = with_agg)
 
 let test_options_validation () =
-  let run ~batch ~jobs () =
+  let run ?chunk ~batch ~jobs () =
     Fuzzer.run
-      ~options:{ Fuzzer.Options.default with batch; jobs }
+      ~options:{ Fuzzer.Options.default with batch; jobs; chunk }
       nutshell Fuzzer.full_strategy ~iterations:4
   in
   let bad f = match f () with exception Invalid_argument _ -> true | _ -> false in
   checkb "batch < 1 rejected" true (bad (run ~batch:0 ~jobs:1));
-  checkb "jobs < 1 rejected" true (bad (run ~batch:8 ~jobs:0))
+  checkb "jobs < 1 rejected" true (bad (run ~batch:8 ~jobs:0));
+  checkb "chunk < 1 rejected" true (bad (run ~chunk:0 ~batch:8 ~jobs:1))
 
 let () =
   Alcotest.run "sonar_telemetry"

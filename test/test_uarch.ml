@@ -316,6 +316,64 @@ let test_machine_window_bounds () =
   | Some (a, b) -> checkb "window well-formed" true (a <= b)
   | None -> Alcotest.fail "window never opened"
 
+let test_machine_ctx_bit_identical () =
+  (* A reused run context must behave exactly like a fresh machine, even
+     when different programs interleave on the same context — no stale
+     cache lines, MSHRs, or contention-point state may leak between runs. *)
+  let ctx = Machine.Ctx.create Config.boom in
+  for seed = 30 to 37 do
+    let p = straightline_program (Int64.of_int seed) in
+    let inputs = [| { Machine.program = p; secret_range = Some (2, 4) } |] in
+    let fresh = Machine.run Config.boom inputs in
+    let reused = Machine.run ~ctx Config.boom inputs in
+    checkb (Printf.sprintf "ctx run identical (seed %d)" seed) true
+      (fresh = reused)
+  done
+
+let test_machine_ctx_config_mismatch () =
+  let ctx = Machine.Ctx.create Config.boom in
+  let p = straightline_program 2L in
+  checkb "ctx for another config rejected" true
+    (match
+       Machine.run ~ctx Config.nutshell
+         [| { Machine.program = p; secret_range = None } |]
+     with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_machine_ctx_allocates_less () =
+  (* Reusing a context skips re-allocating the cache line arrays and
+     contention-point tables, the bulk of a run's minor-heap traffic
+     (measured ~0.5x of a fresh run on boom; 0.75 leaves slack). *)
+  let p = straightline_program 41L in
+  let inputs = [| { Machine.program = p; secret_range = None } |] in
+  let ctx = Machine.Ctx.create Config.boom in
+  ignore (Machine.run Config.boom inputs);
+  ignore (Machine.run ~ctx Config.boom inputs);
+  let minor_words_during f =
+    let before = Gc.minor_words () in
+    f ();
+    Gc.minor_words () -. before
+  in
+  let n = 5 in
+  let fresh =
+    minor_words_during (fun () ->
+        for _ = 1 to n do
+          ignore (Machine.run Config.boom inputs)
+        done)
+  in
+  let reused =
+    minor_words_during (fun () ->
+        for _ = 1 to n do
+          ignore (Machine.run ~ctx Config.boom inputs)
+        done)
+  in
+  checkb
+    (Printf.sprintf "reused ctx allocates less (fresh %.0f, reused %.0f)"
+       fresh reused)
+    true
+    (reused < 0.75 *. fresh)
+
 (* Golden/uarch architectural equivalence over random testcases. *)
 let prop_machine_matches_golden =
   QCheck2.Test.make ~name:"uarch commits = golden trace (random testcases)"
@@ -373,6 +431,12 @@ let () =
           Alcotest.test_case "dual core" `Quick test_machine_dual_core;
           Alcotest.test_case "cache reuse" `Quick test_machine_warm_faster_than_cold;
           Alcotest.test_case "monitoring window" `Quick test_machine_window_bounds;
+          Alcotest.test_case "ctx reuse bit-identical" `Quick
+            test_machine_ctx_bit_identical;
+          Alcotest.test_case "ctx config mismatch" `Quick
+            test_machine_ctx_config_mismatch;
+          Alcotest.test_case "ctx allocates less" `Quick
+            test_machine_ctx_allocates_less;
         ]
         @ qcheck [ prop_machine_matches_golden ] );
     ]
