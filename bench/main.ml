@@ -402,7 +402,7 @@ let mitigation () =
 (* Parallel execution: wall-clock jobs=1 vs jobs=N, determinism check.  *)
 
 let speedup () =
-  section "speedup" "Parallel fuzzing wall-clock: jobs x chunk sweep";
+  section "speedup" "Parallel fuzzing wall-clock: jobs x chunk x checkpoint sweep";
   let cfg = Sonar_uarch.Config.boom in
   let iters = fuzz_iterations in
   let batch = Sonar.Fuzzer.default_batch in
@@ -414,7 +414,7 @@ let speedup () =
      splits into generate/execute/feedback phases — the execute share is
      the only part extra jobs can parallelise (sinks observe the campaign
      but never influence it; the bit-identical check below still holds). *)
-  let campaign jobs chunk =
+  let campaign jobs chunk checkpoint =
     let sink, snap = Sonar.Telemetry.aggregator () in
     let o =
       Sonar.Fuzzer.run
@@ -424,11 +424,19 @@ let speedup () =
             seed = 42L;
             jobs;
             chunk;
+            checkpoint;
             sinks = [ sink ];
           }
         cfg Sonar.Fuzzer.full_strategy ~iterations:iters
     in
     (o, snap ())
+  in
+  (* Cross-mode identity: the checkpoint toggle changes only the
+     cycles_simulated / cycles_saved / checkpoint_hits statistics, never
+     the fuzzing outcome, so the comparison zeroes those three fields.
+     Same-mode (jobs/chunk) comparisons stay full structural equality. *)
+  let strip (o : Sonar.Fuzzer.outcome) =
+    { o with cycles_simulated = 0; cycles_saved = 0; checkpoint_hits = 0 }
   in
   let phase_line (m : Sonar.Telemetry.Metrics.snapshot) =
     Printf.printf
@@ -445,35 +453,71 @@ let speedup () =
     | None -> Sonar.Json.String "auto"
     | Some c -> Sonar.Json.Int c
   in
-  let (o1, m1), t1 = time_it (fun () -> campaign 1 None) in
+  let (o1, m1), t1 = time_it (fun () -> campaign 1 None true) in
   Printf.printf "  jobs=1            %8.2fs\n%!" t1;
   phase_line m1;
   (* Sweep chunk granularity at jobs=N: chunk=1 is the old per-testcase
      dispatch (maximum scheduling freedom, maximum overhead), auto is
      ~2 slices per worker, chunk=batch degenerates to one task (no
      parallelism beyond the first worker). The headline number is the
-     auto-chunk entry — the default users get. *)
+     auto-chunk entry — the default users get. The two checkpoint-off
+     entries isolate the prefix-reuse win: identical outcomes (modulo the
+     cycle statistics), more simulated cycles. *)
   let sweep_points =
-    [ (jobs_n, Some 1); (jobs_n, None); (jobs_n, Some batch) ]
+    [
+      (jobs_n, Some 1, true);
+      (jobs_n, None, true);
+      (jobs_n, Some batch, true);
+      (1, None, false);
+      (jobs_n, None, false);
+    ]
   in
   let sweep =
     List.map
-      (fun (jobs, chunk) ->
-        let (o, m), t = time_it (fun () -> campaign jobs chunk) in
+      (fun (jobs, chunk, checkpoint) ->
+        let (o, m), t = time_it (fun () -> campaign jobs chunk checkpoint) in
         let sp = t1 /. t in
-        let identical = o = o1 in
-        Printf.printf "  jobs=%-3d chunk=%-5s %6.2fs  (%.2fx)\n%!" jobs
-          (chunk_label chunk) t sp;
+        let identical =
+          if checkpoint then o = o1 else strip o = strip o1
+        in
+        Printf.printf "  jobs=%-3d chunk=%-5s checkpoint=%-3s %6.2fs  (%.2fx)\n%!"
+          jobs (chunk_label chunk)
+          (if checkpoint then "on" else "off")
+          t sp;
         phase_line m;
-        (jobs, chunk, t, sp, identical, m))
+        (jobs, chunk, checkpoint, t, sp, identical, o, m))
       sweep_points
   in
-  let identical = List.for_all (fun (_, _, _, _, id, _) -> id) sweep in
-  Printf.printf "  outcomes bit-identical across all (jobs, chunk): %b\n"
-    identical;
-  let _, _, tn, headline, _, mn =
-    List.find (fun (_, chunk, _, _, _, _) -> chunk = None) sweep
+  let identical =
+    List.for_all (fun (_, _, _, _, _, id, _, _) -> id) sweep
   in
+  Printf.printf
+    "  outcomes bit-identical across all (jobs, chunk, checkpoint): %b\n"
+    identical;
+  let _, _, _, tn, headline, _, _, mn =
+    List.find
+      (fun (jobs, chunk, cp, _, _, _, _, _) ->
+        jobs = jobs_n && chunk = None && cp)
+      sweep
+  in
+  let _, _, _, _, _, _, o_off, _ =
+    List.find (fun (jobs, _, cp, _, _, _, _, _) -> jobs = 1 && not cp) sweep
+  in
+  (* Simulated-cycle reduction: checkpoint-off simulates the shared prefix
+     of every dual run twice; checkpoint-on skips it the second time. *)
+  let cycle_reduction =
+    let off = float_of_int o_off.Sonar.Fuzzer.cycles_simulated in
+    if off = 0. then 0.
+    else
+      float_of_int (o_off.cycles_simulated - o1.Sonar.Fuzzer.cycles_simulated)
+      /. off
+  in
+  Printf.printf
+    "  simulated cycles: %d (checkpoint on) vs %d (off) — %.1f%% saved, \
+     %d/%d dual runs hit a checkpoint\n"
+    o1.Sonar.Fuzzer.cycles_simulated o_off.Sonar.Fuzzer.cycles_simulated
+    (100. *. cycle_reduction)
+    o1.checkpoint_hits iters;
   let doc =
     Sonar.Json.Obj
       [
@@ -487,17 +531,27 @@ let speedup () =
         ("seconds_jobsN", Sonar.Json.Float tn);
         ("speedup", Sonar.Json.Float headline);
         ("identical_outcomes", Sonar.Json.Bool identical);
+        ("cycles_simulated", Sonar.Json.Int o1.Sonar.Fuzzer.cycles_simulated);
+        ( "cycles_simulated_nocheckpoint",
+          Sonar.Json.Int o_off.Sonar.Fuzzer.cycles_simulated );
+        ("cycles_saved", Sonar.Json.Int o1.cycles_saved);
+        ("checkpoint_hits", Sonar.Json.Int o1.checkpoint_hits);
+        ("cycle_reduction", Sonar.Json.Float cycle_reduction);
         ( "sweep",
           Sonar.Json.List
             (List.map
-               (fun (jobs, chunk, t, sp, id, _) ->
+               (fun (jobs, chunk, checkpoint, t, sp, id, (o : Sonar.Fuzzer.outcome), _) ->
                  Sonar.Json.Obj
                    [
                      ("jobs", Sonar.Json.Int jobs);
                      ("chunk", chunk_json chunk);
+                     ("checkpoint", Sonar.Json.Bool checkpoint);
                      ("seconds", Sonar.Json.Float t);
                      ("speedup", Sonar.Json.Float sp);
                      ("identical", Sonar.Json.Bool id);
+                     ("cycles_simulated", Sonar.Json.Int o.cycles_simulated);
+                     ("cycles_saved", Sonar.Json.Int o.cycles_saved);
+                     ("checkpoint_hits", Sonar.Json.Int o.checkpoint_hits);
                    ])
                sweep) );
         ("final_coverage", Sonar.Json.Float o1.Sonar.Fuzzer.final_coverage);

@@ -131,9 +131,10 @@ let positive_or_die ~flag = function
       exit 1
   | v -> v
 
-let fuzz dut iterations seed random_mode dual jobs batch chunk trace timings
-    stats progress format =
+let fuzz dut iterations seed random_mode dual jobs batch chunk no_checkpoint
+    trace timings stats progress format =
   let jobs = positive_or_die ~flag:"--jobs" jobs in
+  let checkpoint = not no_checkpoint in
   let batch =
     Option.get (positive_or_die ~flag:"--batch" (Some batch))
   in
@@ -170,6 +171,7 @@ let fuzz dut iterations seed random_mode dual jobs batch chunk trace timings
           jobs;
           batch;
           chunk;
+          checkpoint;
           sinks;
         }
       in
@@ -200,6 +202,7 @@ let fuzz dut iterations seed random_mode dual jobs batch chunk trace timings
                 match chunk with
                 | Some c -> Json.Int c
                 | None -> Json.String "auto" );
+              ("checkpoint", Json.Bool checkpoint);
             ]
           in
           let outcome_fields =
@@ -386,6 +389,18 @@ let fuzz_cmd =
              per worker). Results are identical for every N; only \
              wall-clock changes.")
   in
+  let no_checkpoint =
+    Arg.(
+      value
+      & flag
+      & info [ "no-checkpoint" ]
+          ~doc:
+            "Disable prefix-checkpointed dual runs: simulate each \
+             testcase's shared pre-secret prefix twice instead of once. \
+             Results and traces are bit-identical either way; only the \
+             simulated-cycle statistics (cycles_simulated, cycles_saved, \
+             checkpoint_hits) change.")
+  in
   let trace =
     Arg.(
       value
@@ -428,7 +443,7 @@ let fuzz_cmd =
   Cmd.v (Cmd.info "fuzz" ~doc)
     Term.(
       const fuzz $ dut_arg $ iters $ seed $ random_mode $ dual $ jobs $ batch
-      $ chunk $ trace $ timings $ stats $ progress $ format_arg)
+      $ chunk $ no_checkpoint $ trace $ timings $ stats $ progress $ format_arg)
 
 let report_cmd =
   let doc = "build an offline report from a JSONL telemetry trace" in

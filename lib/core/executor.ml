@@ -3,13 +3,46 @@ open Sonar_uarch
 type pair = {
   run0 : Machine.result;
   run1 : Machine.result;
+  cp : Machine.dual_stats;
 }
 
-let run_pair ?max_cycles cfg build =
-  {
-    run0 = Machine.run ?max_cycles cfg (build ~secret:0);
-    run1 = Machine.run ?max_cycles cfg (build ~secret:1);
-  }
+(* Worker-local scratch: one reusable [Machine.Ctx] per (domain, config).
+   Contexts are reset to cold start at every acquisition inside
+   [Machine.run], so results are bit-identical to fresh machines (tested);
+   keeping them domain-local means the hot loop re-allocates neither cache
+   line arrays nor contention-point tables per testcase, which is what
+   stops stop-the-world minor collections from serialising the pool. *)
+let scratch_key : (string, Machine.Ctx.t) Hashtbl.t Domain_pool.key =
+  Domain_pool.create_key (fun () -> Hashtbl.create 4)
+
+(* [fp] is the caller-precomputed [Config.fingerprint cfg]: batch entry
+   points hash the config once and reuse the key across every lookup,
+   instead of structurally comparing the whole config record per call.
+   (A same-name fingerprint collision would surface as [Machine.run]'s
+   own config guard raising, never as silent state sharing.) *)
+let scratch_ctx (cfg : Config.t) ~fp =
+  let tbl = Domain_pool.get scratch_key in
+  match Hashtbl.find_opt tbl cfg.Config.name with
+  | Some ctx when Machine.Ctx.fingerprint ctx = fp -> ctx
+  | Some _ | None ->
+      let ctx = Machine.Ctx.create cfg in
+      Hashtbl.replace tbl cfg.Config.name ctx;
+      ctx
+
+let run_pair ?max_cycles ?ctx ?checkpoint cfg build =
+  (* Even the sequential one-off path runs on the calling domain's scratch
+     context (unless the caller supplies its own), so single-threaded
+     campaigns get the same allocation reuse as pool workers. *)
+  let ctx =
+    match ctx with
+    | Some ctx -> ctx
+    | None -> scratch_ctx cfg ~fp:(Config.fingerprint cfg)
+  in
+  let run0, run1, cp =
+    Machine.run_dual ?max_cycles ~ctx ?checkpoint cfg (build ~secret:0)
+      (build ~secret:1)
+  in
+  { run0; run1; cp }
 
 let executed_event tc pair =
   Telemetry.Testcase_executed
@@ -19,9 +52,10 @@ let executed_event tc pair =
       cycles1 = pair.run1.Machine.cycles;
     }
 
-let execute ?max_cycles ?emit cfg tc =
+let execute ?max_cycles ?checkpoint ?emit cfg tc =
   let pair =
-    run_pair ?max_cycles cfg (fun ~secret -> Testcase.materialize tc ~secret)
+    run_pair ?max_cycles ?checkpoint cfg (fun ~secret ->
+        Testcase.materialize tc ~secret)
   in
   (match emit with Some emit -> emit (executed_event tc pair) | None -> ());
   pair
@@ -67,33 +101,16 @@ let observe_intervals hists pair =
       Telemetry.Histogram.observe hists ~point ~src_pair v)
     (min_intervals pair)
 
-(* Worker-local scratch: one reusable [Machine.Ctx] per (domain, config).
-   Contexts are reset to cold start at every acquisition inside
-   [Machine.run], so results are bit-identical to fresh machines (tested);
-   keeping them domain-local means the hot loop re-allocates neither cache
-   line arrays nor contention-point tables per testcase, which is what
-   stops stop-the-world minor collections from serialising the pool. *)
-let scratch_key : (string, Machine.Ctx.t) Hashtbl.t Domain_pool.key =
-  Domain_pool.create_key (fun () -> Hashtbl.create 4)
-
-let scratch_ctx (cfg : Config.t) =
-  let tbl = Domain_pool.get scratch_key in
-  match Hashtbl.find_opt tbl cfg.Config.name with
-  | Some ctx when Machine.Ctx.config ctx == cfg || Machine.Ctx.config ctx = cfg
-    ->
-      ctx
-  | Some _ | None ->
-      let ctx = Machine.Ctx.create cfg in
-      Hashtbl.replace tbl cfg.Config.name ctx;
-      ctx
-
 (* Both secret-runs of one testcase, on this domain's scratch context, in
    the same order as the sequential path (secret 0 then 1). *)
-let run_pair_scratch ?max_cycles cfg tc =
-  let ctx = scratch_ctx cfg in
-  let run0 = Machine.run ?max_cycles ~ctx cfg (Testcase.materialize tc ~secret:0) in
-  let run1 = Machine.run ?max_cycles ~ctx cfg (Testcase.materialize tc ~secret:1) in
-  { run0; run1 }
+let run_pair_scratch ?max_cycles ?checkpoint ~fp cfg tc =
+  let ctx = scratch_ctx cfg ~fp in
+  let run0, run1, cp =
+    Machine.run_dual ?max_cycles ~ctx ?checkpoint cfg
+      (Testcase.materialize tc ~secret:0)
+      (Testcase.materialize tc ~secret:1)
+  in
+  { run0; run1; cp }
 
 let auto_chunk ~jobs n =
   (* Aim for ~2 slices per worker: coarse enough that per-task dispatch and
@@ -113,11 +130,14 @@ let rec chunk_list k = function
       let slice, rest = take [] 0 xs in
       slice :: chunk_list k rest
 
-let execute_batch ?max_cycles ?pool ?chunk ?emit ?hists cfg tcs =
+let execute_batch ?max_cycles ?pool ?chunk ?checkpoint ?emit ?hists cfg tcs =
   (match chunk with
   | Some c when c < 1 ->
       invalid_arg "Executor.execute_batch: chunk must be >= 1"
   | Some _ | None -> ());
+  (* One config hash per batch; every scratch lookup below compares this
+     precomputed key instead of the config record. *)
+  let fp = Config.fingerprint cfg in
   let observe pair =
     match hists with Some h -> observe_intervals h pair | None -> ()
   in
@@ -131,7 +151,9 @@ let execute_batch ?max_cycles ?pool ?chunk ?emit ?hists cfg tcs =
       (* Sequential path: same scratch reuse as the workers (the calling
          domain has its own worker-local context), so jobs=1 enjoys the
          allocation win too and the jobs comparison isolates parallelism. *)
-      List.map (fun tc -> finish tc (run_pair_scratch ?max_cycles cfg tc)) tcs
+      List.map
+        (fun tc -> finish tc (run_pair_scratch ?max_cycles ?checkpoint ~fp cfg tc))
+        tcs
   | Some pool ->
       (* Chunked fan-out: one pool task is a slice of the generation — both
          secret-runs of ~[chunk] candidates — not a single run, so the
@@ -151,7 +173,9 @@ let execute_batch ?max_cycles ?pool ?chunk ?emit ?hists cfg tcs =
             let slice_arr = Array.of_list slice in
             ( slice,
               Domain_pool.submit pool (fun () ->
-                  Array.map (run_pair_scratch ?max_cycles cfg) slice_arr) ))
+                  Array.map
+                    (run_pair_scratch ?max_cycles ?checkpoint ~fp cfg)
+                    slice_arr) ))
           (chunk_list chunk tcs)
       in
       List.concat_map

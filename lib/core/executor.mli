@@ -1,24 +1,37 @@
-(** Testcase execution: one run per secret value, on a fresh machine.
+(** Testcase execution: one run per secret value.
 
-    Runs are cold-started and deterministic, so every timing difference
-    between the two runs is caused by the secret — the differential setting
-    the detector (§7) assumes. *)
+    Runs start from cold machine state and are deterministic, so every
+    timing difference between the two runs is caused by the secret — the
+    differential setting the detector (§7) assumes. By default the two
+    runs execute as a prefix-checkpointed dual run
+    ({!Sonar_uarch.Machine.run_dual}): the shared prefix before the first
+    secret-dependent instruction is simulated once, which is bit-identical
+    to two full runs but skips [cp.cycles_saved] simulated cycles. *)
 
 type pair = {
   run0 : Sonar_uarch.Machine.result;  (** secret = 0 *)
   run1 : Sonar_uarch.Machine.result;  (** secret = 1 *)
+  cp : Sonar_uarch.Machine.dual_stats;
+      (** checkpoint outcome for this dual run (fork cycle, cycles saved);
+          deterministic per testcase, independent of jobs/chunk *)
 }
 
 val run_pair :
   ?max_cycles:int ->
+  ?ctx:Sonar_uarch.Machine.Ctx.t ->
+  ?checkpoint:bool ->
   Sonar_uarch.Config.t ->
   (secret:int -> Sonar_uarch.Machine.core_input array) ->
   pair
 (** Low-level entry used both by the fuzzer (via {!execute}) and by the
-    hand-built channel scenarios. *)
+    hand-built channel scenarios. Without [ctx], runs on the calling
+    domain's reusable scratch context — sequential callers get the same
+    allocation reuse as pool workers. [checkpoint] (default [true])
+    toggles the prefix-checkpointed dual run. *)
 
 val execute :
   ?max_cycles:int ->
+  ?checkpoint:bool ->
   ?emit:(Telemetry.event -> unit) ->
   Sonar_uarch.Config.t ->
   Testcase.t ->
@@ -38,6 +51,7 @@ val execute_batch :
   ?max_cycles:int ->
   ?pool:Domain_pool.t ->
   ?chunk:int ->
+  ?checkpoint:bool ->
   ?emit:(Telemetry.event -> unit) ->
   ?hists:Telemetry.Histogram.registry ->
   Sonar_uarch.Config.t ->

@@ -22,6 +22,9 @@ type outcome = {
   contentions_triggered_testcases : int;
   single_valid_share_first20 : float;
   reports : (int * Detector.report) list;
+  cycles_simulated : int;
+  cycles_saved : int;
+  checkpoint_hits : int;
 }
 
 (* Sized for the compiled engine: one testcase is cheap enough that
@@ -37,6 +40,7 @@ module Options = struct
     jobs : int;
     batch : int;
     chunk : int option;
+    checkpoint : bool;
     sinks : Telemetry.sink list;
   }
 
@@ -48,6 +52,7 @@ module Options = struct
       jobs = 1;
       batch = default_batch;
       chunk = None;
+      checkpoint = true;
       sinks = [];
     }
 end
@@ -62,7 +67,10 @@ type candidate = {
 }
 
 let run ?(options = Options.default) cfg strategy ~iterations =
-  let { Options.seed; dual; max_cycles; jobs; batch; chunk; sinks } = options in
+  let { Options.seed; dual; max_cycles; jobs; batch; chunk; checkpoint; sinks }
+      =
+    options
+  in
   if batch < 1 then invalid_arg "Fuzzer.run: batch must be >= 1";
   if jobs < 1 then invalid_arg "Fuzzer.run: jobs must be >= 1";
   (match chunk with
@@ -92,6 +100,9 @@ let run ?(options = Options.default) cfg strategy ~iterations =
   let timing_diffs = ref 0 in
   let tcs_with_diffs = ref 0 in
   let tcs_with_contention = ref 0 in
+  let cycles_simulated = ref 0 in
+  let cycles_saved = ref 0 in
+  let checkpoint_hits = ref 0 in
   let series = ref [] in
   let reports = ref [] in
   let sv_weight_20 = ref 0. and total_weight_20 = ref 0. in
@@ -137,6 +148,14 @@ let run ?(options = Options.default) cfg strategy ~iterations =
      worker count. *)
   let fold cand pair =
     let iteration = cand.cand_iteration in
+    let saved = pair.Executor.cp.Sonar_uarch.Machine.cycles_saved in
+    cycles_simulated :=
+      !cycles_simulated
+      + pair.Executor.run0.Sonar_uarch.Machine.cycles
+      + pair.Executor.run1.Sonar_uarch.Machine.cycles
+      - saved;
+    cycles_saved := !cycles_saved + saved;
+    if saved > 0 then incr checkpoint_hits;
     let intervals = Executor.min_intervals pair in
     let added = Coverage.add_pair coverage pair in
     if added > 0. then begin
@@ -216,6 +235,9 @@ let run ?(options = Options.default) cfg strategy ~iterations =
                size = k;
              });
       let end_generation = span "generation" in
+      let sim_before = !cycles_simulated in
+      let saved_before = !cycles_saved in
+      let hits_before = !checkpoint_hits in
       let t0 = now () in
       let end_generate = span "generate" in
       let candidates = List.init k (fun j -> generate (!iteration + j + 1)) in
@@ -223,8 +245,8 @@ let run ?(options = Options.default) cfg strategy ~iterations =
       let t1 = now () in
       let end_execute = span "execute" in
       let pairs =
-        Executor.execute_batch ?max_cycles ?pool ?chunk ?emit:emit_opt ?hists
-          cfg
+        Executor.execute_batch ?max_cycles ?pool ?chunk ~checkpoint
+          ?emit:emit_opt ?hists cfg
           (List.map (fun c -> c.cand_tc) candidates)
       in
       end_execute ();
@@ -241,6 +263,15 @@ let run ?(options = Options.default) cfg strategy ~iterations =
         timing Telemetry.Generate (t1 -. t0);
         timing Telemetry.Execute (t2 -. t1);
         timing Telemetry.Feedback (t3 -. t2);
+        emit
+          (Telemetry.Checkpoint_stats
+             {
+               generation = !generation;
+               testcases = k;
+               hits = !checkpoint_hits - hits_before;
+               cycles_saved = !cycles_saved - saved_before;
+               cycles_simulated = !cycles_simulated - sim_before;
+             });
         Option.iter
           (fun reg ->
             Telemetry.flush_histograms reg ~generation:!generation emit)
@@ -283,6 +314,9 @@ let run ?(options = Options.default) cfg strategy ~iterations =
     single_valid_share_first20 =
       (if !total_weight_20 = 0. then 0. else !sv_weight_20 /. !total_weight_20);
     reports = List.rev !reports;
+    cycles_simulated = !cycles_simulated;
+    cycles_saved = !cycles_saved;
+    checkpoint_hits = !checkpoint_hits;
   }
 
 let json_of_outcome o : Json.t =
@@ -294,6 +328,9 @@ let json_of_outcome o : Json.t =
       ( "contentions_triggered_testcases",
         Json.Int o.contentions_triggered_testcases );
       ("single_valid_share_first20", Json.Float o.single_valid_share_first20);
+      ("cycles_simulated", Json.Int o.cycles_simulated);
+      ("cycles_saved", Json.Int o.cycles_saved);
+      ("checkpoint_hits", Json.Int o.checkpoint_hits);
       ( "findings",
         Json.List
           (List.map

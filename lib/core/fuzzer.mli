@@ -64,6 +64,14 @@ type outcome = {
   single_valid_share_first20 : float;  (** Figure 9's dominance measure *)
   reports : (int * Detector.report) list;
       (** (iteration, report) for every testcase with CCD findings *)
+  cycles_simulated : int;
+      (** cycles actually simulated across all dual runs (after
+          checkpoint prefix reuse) *)
+  cycles_saved : int;
+      (** simulated cycles skipped by prefix checkpointing (0 when
+          [Options.checkpoint] is off) *)
+  checkpoint_hits : int;
+      (** dual runs that resumed from a captured checkpoint *)
 }
 
 val default_batch : int
@@ -90,6 +98,14 @@ module Options : sig
         (** testcases per parallel executor task (a {e slice} of the
             generation); wall-clock only, never the outcome. [None]
             (default) derives {!Executor.auto_chunk} from [jobs] *)
+    checkpoint : bool;
+        (** prefix-checkpointed dual runs
+            ({!Sonar_uarch.Machine.run_dual}): simulate the shared prefix
+            before the first secret-dependent instruction once per
+            testcase instead of twice. Simulated-cycle count only, never
+            the fuzzing outcome — results are bit-identical either way
+            (tested); only the [cycles_simulated] / [cycles_saved] /
+            [checkpoint_hits] statistics differ (default [true]) *)
     sinks : Telemetry.sink list;
         (** telemetry destinations (default [[]]: zero overhead) *)
   }

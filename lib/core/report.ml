@@ -72,8 +72,10 @@ let of_events ?(source = "<events>") ?(skipped = 0) events =
           Hashtbl.replace phases k
             (e.seconds +. Option.value ~default:0. (Hashtbl.find_opt phases k))
       | Telemetry.Interval_histogram _ | Telemetry.Coverage_heatmap _
-      | Telemetry.Span_begin _ | Telemetry.Span_end _ ->
-          (* absorbed by the observatory sink above *)
+      | Telemetry.Span_begin _ | Telemetry.Span_end _
+      | Telemetry.Checkpoint_stats _ ->
+          (* absorbed by the observatory sink above (or, for checkpoint
+             stats, excluded from traces in the first place) *)
           ())
     events;
   {

@@ -41,6 +41,13 @@ type event =
   | Coverage_heatmap of { generation : int; components : (string * float) list }
   | Span_begin of { span_id : int; parent : int option; name : string }
   | Span_end of { span_id : int; name : string; seconds : float }
+  | Checkpoint_stats of {
+      generation : int;
+      testcases : int;
+      hits : int;  (** dual runs that resumed from a captured checkpoint *)
+      cycles_saved : int;
+      cycles_simulated : int;
+    }
 
 (* Span events carry (or bracket) wall-clock measurements, so they join
    Phase_timing in the timings opt-in class excluded from traces by
@@ -48,6 +55,13 @@ type event =
 let is_timing_event = function
   | Phase_timing _ | Span_begin _ | Span_end _ -> true
   | _ -> false
+
+(* Checkpoint statistics are deterministic per testcase (independent of
+   jobs/chunk) but differ by construction between checkpoint modes, so
+   they form their own opt-in class excluded from default traces: a
+   --no-checkpoint campaign's trace stays byte-identical to the
+   checkpointed one. *)
+let is_execution_event = function Checkpoint_stats _ -> true | _ -> false
 
 type sink = {
   emit : event -> unit;
@@ -168,6 +182,15 @@ let json_of_event ev : Json.t =
           ("name", Json.String e.name);
           ("seconds", Json.Float e.seconds);
         ]
+  | Checkpoint_stats e ->
+      obj "checkpoint_stats"
+        [
+          ("generation", Json.Int e.generation);
+          ("testcases", Json.Int e.testcases);
+          ("hits", Json.Int e.hits);
+          ("cycles_saved", Json.Int e.cycles_saved);
+          ("cycles_simulated", Json.Int e.cycles_simulated);
+        ]
 
 let event_of_json doc =
   let open Json in
@@ -271,6 +294,16 @@ let event_of_json doc =
     | "span_end" ->
         Some
           (Span_end { span_id = i "span_id"; name = s "name"; seconds = f "seconds" })
+    | "checkpoint_stats" ->
+        Some
+          (Checkpoint_stats
+             {
+               generation = i "generation";
+               testcases = i "testcases";
+               hits = i "hits";
+               cycles_saved = i "cycles_saved";
+               cycles_simulated = i "cycles_simulated";
+             })
     | _ -> None
   with Parse_error _ -> None
 
@@ -279,7 +312,7 @@ let event_of_json doc =
 
 let jsonl ?(timings = false) write_line =
   make (fun ev ->
-      if timings || not (is_timing_event ev) then
+      if timings || not (is_timing_event ev || is_execution_event ev) then
         write_line (Json.to_string (json_of_event ev)))
 
 let jsonl_file ?timings path =
@@ -323,6 +356,9 @@ module Metrics = struct
     events_per_second : float;
     testcases_per_second : float;
     pool_utilization : float;
+    cycles_simulated : int;
+    cycles_saved : int;
+    checkpoint_hits : int;
   }
 
   let to_json s : Json.t =
@@ -346,6 +382,9 @@ module Metrics = struct
         ("events_per_second", Json.Float s.events_per_second);
         ("testcases_per_second", Json.Float s.testcases_per_second);
         ("pool_utilization", Json.Float s.pool_utilization);
+        ("cycles_simulated", Json.Int s.cycles_simulated);
+        ("cycles_saved", Json.Int s.cycles_saved);
+        ("checkpoint_hits", Json.Int s.checkpoint_hits);
       ]
 
   let pp fmt s =
@@ -357,12 +396,14 @@ module Metrics = struct
       \  CCD findings     %d in %d testcases@,\
       \  corpus           %d entries (%d retained, %d evicted)@,\
       \  direction flips  %d@,\
+      \  checkpointing    %d cycles saved over %d simulated (%d hits)@,\
       \  phase wall-clock generate %.3fs | execute %.3fs | feedback %.3fs@,\
       \  total wall-clock %.3fs (pool utilization %.0f%%, %.0f events/s)@]"
       s.testcases s.testcases_per_second s.generations s.coverage
       s.contention_testcases s.ccd_findings s.finding_testcases s.corpus_size
-      s.retained s.evicted s.direction_flips s.generate_seconds
-      s.execute_seconds s.feedback_seconds s.wall_seconds
+      s.retained s.evicted s.direction_flips s.cycles_saved s.cycles_simulated
+      s.checkpoint_hits s.generate_seconds s.execute_seconds s.feedback_seconds
+      s.wall_seconds
       (100. *. s.pool_utilization)
       s.events_per_second
 end
@@ -381,6 +422,9 @@ let aggregator () =
   let coverage = ref 0. in
   let corpus_size = ref 0 in
   let gen_s = ref 0. and exec_s = ref 0. and fb_s = ref 0. in
+  let cycles_simulated = ref 0 in
+  let cycles_saved = ref 0 in
+  let checkpoint_hits = ref 0 in
   let emit ev =
     incr events;
     match ev with
@@ -406,6 +450,10 @@ let aggregator () =
         | Generate -> gen_s := !gen_s +. e.seconds
         | Execute -> exec_s := !exec_s +. e.seconds
         | Feedback -> fb_s := !fb_s +. e.seconds)
+    | Checkpoint_stats e ->
+        cycles_simulated := !cycles_simulated + e.cycles_simulated;
+        cycles_saved := !cycles_saved + e.cycles_saved;
+        checkpoint_hits := !checkpoint_hits + e.hits
     | Interval_histogram _ | Coverage_heatmap _ | Span_begin _ | Span_end _ ->
         ()
   in
@@ -430,6 +478,9 @@ let aggregator () =
       events_per_second = float_of_int !events /. wall;
       testcases_per_second = float_of_int !testcases /. wall;
       pool_utilization = !exec_s /. wall;
+      cycles_simulated = !cycles_simulated;
+      cycles_saved = !cycles_saved;
+      checkpoint_hits = !checkpoint_hits;
     }
   in
   (make emit, snapshot)

@@ -71,10 +71,27 @@ type event =
   | Span_end of { span_id : int; name : string; seconds : float }
       (** A profiling span closed after [seconds] of wall-clock.
           {b Not deterministic}; excluded from traces by default. *)
+  | Checkpoint_stats of {
+      generation : int;
+      testcases : int;  (** dual runs folded into this event *)
+      hits : int;  (** dual runs that resumed from a captured checkpoint *)
+      cycles_saved : int;  (** simulated cycles skipped by prefix reuse *)
+      cycles_simulated : int;  (** cycles actually simulated (after reuse) *)
+    }
+      (** Per-generation checkpointing efficiency. Deterministic, but a
+          function of the checkpoint {e option}, not of the fuzzing
+          outcome — excluded from traces by default so checkpoint-on and
+          checkpoint-off campaigns produce byte-identical traces. *)
 
 val is_timing_event : event -> bool
 (** Whether the event belongs to the wall-clock (timings opt-in) class:
     {!event.Phase_timing}, {!event.Span_begin}, {!event.Span_end}. *)
+
+val is_execution_event : event -> bool
+(** Whether the event describes {e how} the campaign executed rather than
+    what it found ({!event.Checkpoint_stats}): deterministic, yet excluded
+    from traces by default because it varies with execution options (e.g.
+    [--no-checkpoint]) that must not perturb the trace. *)
 
 type sink = {
   emit : event -> unit;
@@ -136,6 +153,9 @@ module Metrics : sig
     pool_utilization : float;
         (** share of campaign wall-clock spent in the execute phase (the
             part the worker pool parallelises) *)
+    cycles_simulated : int;  (** cycles actually simulated (after reuse) *)
+    cycles_saved : int;  (** cycles skipped via prefix checkpointing *)
+    checkpoint_hits : int;  (** dual runs that resumed from a checkpoint *)
   }
 
   val to_json : snapshot -> Json.t

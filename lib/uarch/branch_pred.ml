@@ -30,3 +30,20 @@ let update_jump t ~pc ~target = Hashtbl.replace t.btb pc target
 let reset t =
   Hashtbl.reset t.btb;
   Hashtbl.reset t.counters
+
+type save = {
+  mutable s_btb : (int64 * int64) list;
+  mutable s_counters : (int64 * int) list;
+}
+
+let make_save () = { s_btb = []; s_counters = [] }
+
+let capture t sv =
+  sv.s_btb <- Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.btb [];
+  sv.s_counters <- Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.counters []
+
+let restore t sv =
+  Hashtbl.reset t.btb;
+  List.iter (fun (k, v) -> Hashtbl.replace t.btb k v) sv.s_btb;
+  Hashtbl.reset t.counters;
+  List.iter (fun (k, v) -> Hashtbl.replace t.counters k v) sv.s_counters

@@ -22,3 +22,11 @@ val update : t -> pc:int64 -> taken:bool -> target:int64 -> unit
 
 val update_jump : t -> pc:int64 -> target:int64 -> unit
 val reset : t -> unit
+
+type save
+
+val make_save : unit -> save
+val capture : t -> save -> unit
+val restore : t -> save -> unit
+(** Checkpoint the BTB and counter tables; [restore] makes later
+    predictions bit-identical to the captured state. *)

@@ -149,3 +149,72 @@ let reset t =
     t.sets;
   t.tick <- 0;
   Hashtbl.reset t.evicted
+
+(* Checkpoint support: capture the full observable cache state (valid
+   lines only — invalid lines carry no readable state, see [reset]) into
+   preallocated arrays, and restore it later.  Restore first invalidates
+   everything, then reinstalls each saved line in place, so any line
+   filled between capture and restore disappears and the LRU clock
+   rewinds — restored state is bit-identical to the captured one. *)
+
+type save = {
+  mutable n_saved : int;
+  s_set : int array;
+  s_way : int array;
+  s_tag : int64 array;
+  s_dirty : bool array;
+  s_lru : int array;
+  s_info : fill_info array;
+  mutable s_tick : int;
+  mutable s_evicted : ((int * int64) * (int * bool)) list;
+}
+
+let make_save t =
+  let n = t.n_sets * t.ways in
+  {
+    n_saved = 0;
+    s_set = Array.make n 0;
+    s_way = Array.make n 0;
+    s_tag = Array.make n 0L;
+    s_dirty = Array.make n false;
+    s_lru = Array.make n 0;
+    s_info =
+      Array.make n { filler_seq = -1; fill_cycle = -1; filler_tainted = false };
+    s_tick = 0;
+    s_evicted = [];
+  }
+
+let capture t sv =
+  let k = ref 0 in
+  for set_idx = 0 to t.n_sets - 1 do
+    let set = t.sets.(set_idx) in
+    for way = 0 to t.ways - 1 do
+      let l = set.(way) in
+      if l.valid then begin
+        sv.s_set.(!k) <- set_idx;
+        sv.s_way.(!k) <- way;
+        sv.s_tag.(!k) <- l.tag;
+        sv.s_dirty.(!k) <- l.dirty;
+        sv.s_lru.(!k) <- l.lru;
+        sv.s_info.(!k) <- l.info;
+        incr k
+      end
+    done
+  done;
+  sv.n_saved <- !k;
+  sv.s_tick <- t.tick;
+  sv.s_evicted <- Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.evicted []
+
+let restore t sv =
+  Array.iter (fun set -> Array.iter (fun l -> l.valid <- false) set) t.sets;
+  for i = 0 to sv.n_saved - 1 do
+    let l = t.sets.(sv.s_set.(i)).(sv.s_way.(i)) in
+    l.tag <- sv.s_tag.(i);
+    l.valid <- true;
+    l.dirty <- sv.s_dirty.(i);
+    l.lru <- sv.s_lru.(i);
+    l.info <- sv.s_info.(i)
+  done;
+  t.tick <- sv.s_tick;
+  Hashtbl.reset t.evicted;
+  List.iter (fun (k, v) -> Hashtbl.replace t.evicted k v) sv.s_evicted

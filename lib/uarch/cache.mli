@@ -45,3 +45,14 @@ val reset : t -> unit
     line arrays. A reset cache behaves bit-identically to a fresh
     {!create} of the same configuration — the property the reusable
     {!Machine.Ctx} run contexts rely on. *)
+
+type save
+(** Preallocated checkpoint buffer sized for one cache's line arrays. *)
+
+val make_save : t -> save
+val capture : t -> save -> unit
+val restore : t -> save -> unit
+(** [restore t sv] returns [t] to the exact state [capture t sv] saw:
+    observable behaviour after restore is bit-identical to the captured
+    cache. A [save] may only be restored into a cache of the same
+    geometry it was made for. *)

@@ -189,3 +189,5 @@ let pp fmt t =
     (match t.ldq_entries with Some n -> string_of_int n | None -> "-")
     t.stq_entries "I/DCache" t.icache.size_kb t.dcache.size_kb "L1 MSHR"
     t.mshrs "L2 Cache" t.l2.size_kb "Bus Protocol" t.bus_protocol
+
+let fingerprint (t : t) = Hashtbl.hash_param 1000 1000 t

@@ -63,3 +63,9 @@ val fanout_of : t -> string -> int
 
 val pp : Format.formatter -> t -> unit
 (** Render the Table 1 column for this configuration. *)
+
+val fingerprint : t -> int
+(** Structural hash of the whole configuration. Two configs with equal
+    fingerprints are treated as interchangeable by scratch-context caches
+    ({!Executor}); configs are small immutable records, so the hash covers
+    every field. *)

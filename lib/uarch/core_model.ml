@@ -38,11 +38,11 @@ type t = {
   reg : Cpoint.registry;
   ms : Memsys.t;
   core_id : int;
-  trace : Golden.effect array;
+  mutable trace : Golden.effect array;
   transients : (int, Golden.effect array) Hashtbl.t;
-  secret_range : (int * int) option;
+  mutable secret_range : (int * int) option;
   drives_window : bool;
-  secret_total : int;
+  mutable secret_total : int;
   mutable secret_committed : int;
   (* Fetch state *)
   mutable fetch_pos : int;
@@ -149,6 +149,41 @@ let create cfg reg ms ~core_id ~outcome ~secret_range ~drives_window =
   (* With no secret-dependent region the whole run is the window. *)
   if drives_window && secret_range = None then Cpoint.open_window reg;
   t
+
+let prepare t ~outcome ~secret_range =
+  (* Re-arm an existing core for a new run: same role (core_id,
+     drives_window, registered points), new golden trace. Rewinds every
+     dynamic field to what [create] initialises, so a prepared core
+     behaves bit-identically to a fresh one — the [Machine.Ctx] per-core
+     reuse contract. *)
+  t.trace <- outcome.Golden.trace;
+  Hashtbl.reset t.transients;
+  List.iter
+    (fun (pos, cont) -> Hashtbl.replace t.transients pos cont)
+    outcome.Golden.transients;
+  t.secret_range <- secret_range;
+  t.secret_total <- count_secret outcome.Golden.trace secret_range;
+  t.secret_committed <- 0;
+  t.fetch_pos <- 0;
+  t.fetch_source <- Arch;
+  t.fetch_stall_until <- 0;
+  t.fetch_halted <- false;
+  t.blocked_on_branch <- None;
+  Hashtbl.reset t.line_avail;
+  Hashtbl.reset t.line_pending;
+  t.fb <- [];
+  t.rob <- [];
+  t.stbuf <- [];
+  Hashtbl.reset t.by_id;
+  Array.fill t.taint_reg 0 (Array.length t.taint_reg) false;
+  t.next_id <- 0;
+  Exec_unit.reset t.pool;
+  Branch_pred.reset t.bp;
+  t.commit_log <- [];
+  t.transient_issued <- 0;
+  t.cycles <- 0;
+  t.pending_early_squash <- None;
+  if t.drives_window && secret_range = None then Cpoint.open_window t.reg
 
 let line_of t pc =
   Int64.logand pc (Int64.lognot (Int64.of_int (t.cfg.icache.line_bytes - 1)))
@@ -433,8 +468,35 @@ let classify (i : Instr.t) =
   | _ when Instr.is_store i -> Class_store
   | _ -> Class_alu
 
-let operand_magnitude (u : uop) =
-  match u.eff.Golden.wb with Some (_, v) -> v | None -> 1024L
+let magnitude_of (e : Golden.effect) =
+  match e.Golden.wb with Some (_, v) -> v | None -> 1024L
+
+let operand_magnitude (u : uop) = magnitude_of u.eff
+
+(* Equality on every effect field the backend reads once a uop has entered
+   the ROB: the memory address (load/store issue, store-forwarding search,
+   store-buffer drain) and, where the configuration makes it observable,
+   the writeback magnitude (the data-dependent latency operand).  The
+   divider's latency is operand-dependent in both modelled designs, and
+   NutShell's unified MDU additionally records the operand as
+   contention-point data on every request — but BOOM's pipelined IMUL has
+   a constant latency and its issue path never touches the operand, so
+   multiply magnitudes are exec-visible only under a unified MDU.  Loaded
+   / stored data and ALU results are never read by the timing model —
+   they flow only into the commit log, which a checkpoint restore
+   re-points.  With equal instructions, [mem] presence, size and
+   direction are equal by construction, so only the address matters. *)
+let exec_visible_equal (cfg : Config.t) (a : Golden.effect) (b : Golden.effect) =
+  (match (a.Golden.mem, b.Golden.mem) with
+  | Some ma, Some mb -> Int64.equal ma.Golden.addr mb.Golden.addr
+  | None, None -> true
+  | Some _, None | None, Some _ -> false)
+  &&
+  match classify a.Golden.instr with
+  | Class_div -> Int64.equal (magnitude_of a) (magnitude_of b)
+  | Class_mul when cfg.Config.unified_mdu ->
+      Int64.equal (magnitude_of a) (magnitude_of b)
+  | Class_mul | Class_alu | Class_load | Class_store -> true
 
 let is_access_fault = function
   | Some (Golden.Load_access_fault | Golden.Store_access_fault) -> true
@@ -725,3 +787,252 @@ let finished t = fetch_done t && t.fb = [] && t.rob = [] && t.stbuf = []
 let commits t = List.rev t.commit_log
 let transient_executed t = t.transient_issued
 let cycles_run t = t.cycles
+
+(* Exclusive upper bound on the architectural trace positions fetch can
+   consume during the coming cycle, evaluated at the top of the cycle
+   (before any stage steps).  Used by the dual-run checkpoint logic: as
+   long as every core's bound stays at or below its fork position, the
+   cycle is guaranteed to behave identically under both secrets.
+
+   Soundness of each arm:
+   - [Trans]: transient fetch consumes no architectural positions, and
+     leaving [Trans] happens only through [handle_fault_redirect], which
+     both stalls fetch past this cycle and moves [fetch_pos] backward.
+   - halted / stalled / blocked-on-branch: no stage running this cycle
+     can re-enable fetch for {e this} cycle — mispredict resolution and
+     fault redirects always set [fetch_stall_until > cycle].
+   - otherwise fetch consumes at most [fetch_width] positions, further
+     limited by fetch-buffer backpressure: dispatch (which runs before
+     fetch) frees at most [decode_width] buffer slots — and clamped at the
+     first position whose instruction line is {e known} not to be ready
+     this cycle ([line_known_unready] below): fetch consumes positions in
+     order and [step_fetch] stops at the first [line_ready] failure.
+
+   The line clamp is exact, not just sound, for lines the core has already
+   touched: [ifetch_ready_tbl] entries are written only by [Memsys.tick],
+   which runs after every core's [step] within a cycle, so the table this
+   query sees at the top of the cycle is the table [step_fetch] sees.
+   Untouched lines are conservatively assumed ready (a first-touch
+   [Memsys.ifetch] could hit). *)
+let line_known_unready t line ~cycle =
+  match Hashtbl.find_opt t.line_avail line with
+  | Some c -> c > cycle
+  | None ->
+      Hashtbl.mem t.line_pending line
+      &&
+      (* Pure variant of [line_ready]'s pending path: peek at the refill
+         completion without migrating the entry between the core tables. *)
+      (match Memsys.ifetch_ready t.ms ~core:t.core_id ~addr:line with
+      | Some c -> c > cycle
+      | None -> true)
+
+let fetch_bound t ~cycle =
+  match t.fetch_source with
+  | Trans _ -> t.fetch_pos
+  | Arch ->
+      if t.fetch_halted || cycle < t.fetch_stall_until || t.blocked_on_branch <> None
+      then t.fetch_pos
+      else begin
+        let fb = fb_count t in
+        let headroom =
+          min t.cfg.fetch_width
+            (t.cfg.fetch_buffer - fb + min fb t.cfg.decode_width)
+        in
+        let last = min (t.fetch_pos + headroom) (Array.length t.trace) in
+        let bound = ref (t.fetch_pos + headroom) in
+        (try
+           for p = t.fetch_pos to last - 1 do
+             if line_known_unready t (line_of t t.trace.(p).Golden.pc) ~cycle
+             then begin
+               bound := p;
+               raise Exit
+             end
+           done
+         with Exit -> ());
+        !bound
+      end
+
+(* Whether the ROB holds a uop at or past the architectural position
+   [fork] whose divergent backend-read fields could be read this cycle.
+   Complements [fetch_bound] in the dual-run capture test.
+
+   A divergent {e store}'s address can be read by any younger load's
+   forwarding search the moment both sit in the ROB, so its mere presence
+   trips the test.  A divergent load or mul/div is read only at its {e own}
+   issue ([Memsys.dload] address / latency operand), which requires its
+   operands ready — so the test defers until the cycle that could happen,
+   riding out the operand-dependency chain in front of it (the testcase
+   template's coupling chains delay exactly this readiness).
+
+   [producer_possibly_ready] predicts [value_ready] as evaluated inside
+   [step_issue], which runs {e after} complete/writeback within the cycle:
+   an [Issued] producer with [complete_at <= cycle] completes first (an
+   [Exec_done] or [Done] producer already has [complete_at <= cycle] — the
+   only transitions into those states require it); a [Wait_mem] producer
+   is released exactly when [Memsys.load_ready] says so, and the ready
+   table is written only by [Memsys.tick], which runs after every core's
+   [step] — so the top-of-cycle query sees the table [step_complete] sees.
+   Only [Dispatched] producers (which issue at the earliest this cycle,
+   completing later) and [Issued] ones with [complete_at > cycle] provably
+   stay unready.  Transient uops carry position -1 and never trip the
+   test. *)
+let producer_possibly_ready t v ~cycle =
+  match v.state with
+  | Exec_done | Done -> true
+  | Wait_mem -> (
+      match Memsys.load_ready t.ms ~core:t.core_id ~rob:v.id with
+      | Some c -> c <= cycle
+      | None -> false)
+  | Issued -> v.complete_at <= cycle
+  | Dispatched -> false
+
+let could_issue t u ~cycle =
+  List.for_all
+    (fun r ->
+      Reg.equal r Reg.x0
+      ||
+      match producer_of t u r with
+      | Some v -> producer_possibly_ready t v ~cycle
+      | None -> true)
+    (Instr.sources u.eff.Golden.instr)
+
+let rob_issue_reaches t ~fork ~cycle =
+  List.exists
+    (fun u ->
+      u.trace_pos >= fork
+      && (u.state <> Dispatched
+         || Instr.is_store u.eff.Golden.instr
+         || could_issue t u ~cycle))
+    t.rob
+
+(* Checkpoint support.  Uops are mutable, so capture deep-copies each one
+   ([{ u with state = u.state }] — the immutable [eff] is shared); [by_id]
+   is exactly fb ∪ rob (commit removes an entry before any store-buffer
+   insertion), so restore rebuilds it instead of saving it.  The commit
+   log's records are immutable, so its spine is shared.  [fetch_source]'s
+   [Trans] payload is replaced, never mutated, so saving it by value is
+   faithful. *)
+
+type save = {
+  mutable s_secret_committed : int;
+  mutable s_fetch_pos : int;
+  mutable s_fetch_source : fetch_source;
+  mutable s_fetch_stall_until : int;
+  mutable s_fetch_halted : bool;
+  mutable s_blocked_on_branch : int option;
+  mutable s_line_avail : (int64 * int) list;
+  mutable s_line_pending : int64 list;
+  mutable s_fb : uop list;
+  mutable s_rob : uop list;
+  mutable s_stbuf : (uop * stbuf_state) list;
+  s_taint_reg : bool array;
+  mutable s_next_id : int;
+  s_pool : Exec_unit.save;
+  s_bp : Branch_pred.save;
+  mutable s_commit_log : commit_record list;
+  mutable s_transient_issued : int;
+  mutable s_cycles : int;
+}
+
+let make_save () =
+  {
+    s_secret_committed = 0;
+    s_fetch_pos = 0;
+    s_fetch_source = Arch;
+    s_fetch_stall_until = 0;
+    s_fetch_halted = false;
+    s_blocked_on_branch = None;
+    s_line_avail = [];
+    s_line_pending = [];
+    s_fb = [];
+    s_rob = [];
+    s_stbuf = [];
+    s_taint_reg = Array.make 32 false;
+    s_next_id = 0;
+    s_pool = Exec_unit.make_save ();
+    s_bp = Branch_pred.make_save ();
+    s_commit_log = [];
+    s_transient_issued = 0;
+    s_cycles = 0;
+  }
+
+let copy_uop u = { u with state = u.state }
+
+let capture t sv =
+  (* [pending_early_squash] is set and consumed within one [step], so it
+     is always [None] at a cycle boundary. *)
+  assert (t.pending_early_squash = None);
+  sv.s_secret_committed <- t.secret_committed;
+  sv.s_fetch_pos <- t.fetch_pos;
+  sv.s_fetch_source <- t.fetch_source;
+  sv.s_fetch_stall_until <- t.fetch_stall_until;
+  sv.s_fetch_halted <- t.fetch_halted;
+  sv.s_blocked_on_branch <- t.blocked_on_branch;
+  sv.s_line_avail <- Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.line_avail [];
+  sv.s_line_pending <- Hashtbl.fold (fun k () acc -> k :: acc) t.line_pending [];
+  sv.s_fb <- List.map copy_uop t.fb;
+  sv.s_rob <- List.map copy_uop t.rob;
+  sv.s_stbuf <- List.map (fun e -> (copy_uop e.sb_uop, e.sb_state)) t.stbuf;
+  Array.blit t.taint_reg 0 sv.s_taint_reg 0 32;
+  sv.s_next_id <- t.next_id;
+  Exec_unit.capture t.pool sv.s_pool;
+  Branch_pred.capture t.bp sv.s_bp;
+  sv.s_commit_log <- t.commit_log;
+  sv.s_transient_issued <- t.transient_issued;
+  sv.s_cycles <- t.cycles
+
+let restore ?(fork = max_int) t sv =
+  t.secret_committed <- sv.s_secret_committed;
+  t.fetch_pos <- sv.s_fetch_pos;
+  t.fetch_source <- sv.s_fetch_source;
+  t.fetch_stall_until <- sv.s_fetch_stall_until;
+  t.fetch_halted <- sv.s_fetch_halted;
+  t.blocked_on_branch <- sv.s_blocked_on_branch;
+  Hashtbl.reset t.line_avail;
+  List.iter (fun (k, v) -> Hashtbl.replace t.line_avail k v) sv.s_line_avail;
+  Hashtbl.reset t.line_pending;
+  List.iter (fun k -> Hashtbl.replace t.line_pending k ()) sv.s_line_pending;
+  (* Uops at or past [fork] were captured with run 0's effect records.
+     None of the fields the two runs disagree on was ever read — the
+     capture fires before the first cycle in which issue could touch a
+     uop whose {e backend-read} fields ([exec_visible_equal]) diverge,
+     and uops diverging only in unread data may have issued, completed,
+     even committed — so re-pointing every record at the current —
+     [prepare]d — trace makes the restored state exactly what the other
+     run would have built.  All dynamic uop fields (taint, prediction
+     outcome, resolved target, dispatch cycle, issue timing) are
+     equal across the runs up to that point, so the shallow rebuild is
+     faithful. *)
+  let repoint u =
+    if u.trace_pos >= fork then { u with eff = t.trace.(u.trace_pos) } else u
+  in
+  t.fb <- (if fork = max_int then sv.s_fb else List.map repoint sv.s_fb);
+  t.rob <- (if fork = max_int then sv.s_rob else List.map repoint sv.s_rob);
+  t.stbuf <-
+    List.map
+      (fun (u, st) -> { sb_uop = repoint u; sb_state = st })
+      sv.s_stbuf;
+  Hashtbl.reset t.by_id;
+  List.iter (fun u -> Hashtbl.replace t.by_id u.id u) t.fb;
+  List.iter (fun u -> Hashtbl.replace t.by_id u.id u) t.rob;
+  Array.blit sv.s_taint_reg 0 t.taint_reg 0 32;
+  t.next_id <- sv.s_next_id;
+  Exec_unit.restore t.pool sv.s_pool;
+  Branch_pred.restore t.bp sv.s_bp;
+  (* The [k]-th commit (commit order = architectural trace order; the log
+     is most-recent-first) is trace position [k] — re-point committed
+     records past [fork] too, so the commit trace reports the new run's
+     data. *)
+  t.commit_log <-
+    (if fork = max_int then sv.s_commit_log
+     else begin
+       let len = List.length sv.s_commit_log in
+       List.mapi
+         (fun j r ->
+           let pos = len - 1 - j in
+           if pos >= fork then { r with c_eff = t.trace.(pos) } else r)
+         sv.s_commit_log
+     end);
+  t.transient_issued <- sv.s_transient_issued;
+  t.cycles <- sv.s_cycles;
+  t.pending_early_squash <- None

@@ -36,8 +36,69 @@ val create :
     such instruction dispatches and closes it when the last commits
     (when [drives_window]). With no range the window opens at cycle 0. *)
 
+val prepare :
+  t ->
+  outcome:Sonar_isa.Golden.outcome ->
+  secret_range:(int * int) option ->
+  unit
+(** Re-arm an existing core for a new run with a new golden trace: every
+    dynamic field rewinds to what {!create} initialises (same core_id,
+    same [drives_window] role, same registered contention points). Must be
+    paired with {!Cpoint.reset} / {!Memsys.reset} on the shared state. A
+    prepared core behaves bit-identically to a fresh {!create}. *)
+
 val step : t -> cycle:int -> unit
 (** Advance all pipeline stages by one cycle. *)
+
+val fetch_bound : t -> cycle:int -> int
+(** Exclusive upper bound on the architectural trace positions fetch can
+    consume during the coming cycle, evaluated at the top of the cycle.
+    While every core's bound stays ≤ its dual-run {e fetch-visible} fork
+    position, the coming cycle's front end is secret-independent — one half
+    of the checkpoint capture test. *)
+
+val rob_issue_reaches : t -> fork:int -> cycle:int -> bool
+(** Whether the ROB holds a uop at or past trace position [fork] whose
+    divergent backend-read fields could be read this cycle, evaluated at
+    the top of the cycle — the other half of the capture test, with
+    [fork] the first {!exec_visible_equal}-divergent position. A
+    divergent store trips the test as soon as it is in the ROB (younger
+    loads search store addresses); a divergent load or mul/div only once
+    its operands could be ready — its fields are read at its own issue —
+    which rides out the dependency chain delaying it. *)
+
+val exec_visible_equal :
+  Config.t -> Sonar_isa.Golden.effect -> Sonar_isa.Golden.effect -> bool
+(** Whether two effects agree on every field the backend reads once a uop
+    has entered the ROB: the memory address, the writeback magnitude for
+    divides (the divider's data-dependent latency operand), and — only
+    under a unified MDU, whose issue path records the operand as
+    contention-point data — the magnitude for multiplies (BOOM's
+    pipelined IMUL has constant latency and never touches the operand).
+    Effects differing only in loaded / stored data or ALU results are
+    invisible to the timing model — such uops may issue, complete and
+    commit before a dual-run checkpoint is captured; {!restore} re-points
+    their records (fetch buffer, ROB, store buffer, commit log) at the
+    new run's trace. Assumes equal instructions (below the fetch-visible
+    fork). *)
+
+type save
+(** Preallocated checkpoint buffer for one core's dynamic pipeline state
+    (fetch state, fetch buffer, ROB, store buffer, taint, predictor,
+    execution units, commit log). The golden trace itself is not saved —
+    {!prepare} supplies the new run's trace before {!restore}. *)
+
+val make_save : unit -> save
+val capture : t -> save -> unit
+
+val restore : ?fork:int -> t -> save -> unit
+(** Overwrite the dynamic state with a captured checkpoint. When [fork]
+    is given, fetch-buffer and ROB uops at trace positions ≥ [fork] are
+    re-pointed at the {e current} golden trace (call {!prepare} with the
+    new outcome first): such uops may carry the captured run's divergent
+    values, which are unread until the uop's first post-dispatch issue
+    opportunity — after the capture, by {!rob_reaches}. Default
+    [max_int]: no re-pointing. *)
 
 val finished : t -> bool
 (** Trace fully committed and all buffers drained. *)

@@ -224,6 +224,107 @@ let triggered_weight p =
   float_of_int p.fanout *. float_of_int (Hashtbl.length p.triggered)
   /. float_of_int p.max_subs
 
+(* Checkpoint support: a registry-level save holds one preallocated buffer
+   per registered point (in [points] order — registration is structural,
+   so the order is stable for a given config + core count) plus the
+   window/cycle state.  Hashtables are captured as association lists and
+   replayed with [Hashtbl.replace]; all readers use [find_opt] /
+   [length] / [fold]+sort, so insertion order never shows through. *)
+
+type point_save = {
+  ps_last_valid : int array;
+  ps_hits : int array;
+  ps_last_tainted : bool array;
+  mutable ps_min_pair : int option;
+  mutable ps_min_self : int option;
+  mutable ps_active_sources : int;
+  mutable ps_single_valid_dominated : bool;
+  mutable ps_triggered : (kind * int) list;
+  mutable ps_pair_min : (int * int) list;
+  mutable ps_digest : int;
+  mutable ps_event_count : int;
+}
+
+type save = {
+  sv_points : (t * point_save) array;
+  mutable sv_cycle : int;
+  mutable sv_open : bool;
+  mutable sv_first_open : int option;
+  mutable sv_last_open : int option;
+}
+
+let make_save reg =
+  {
+    sv_points =
+      Array.of_list
+        (List.map
+           (fun p ->
+             let n = Array.length p.sources in
+             ( p,
+               {
+                 ps_last_valid = Array.make n (-1);
+                 ps_hits = Array.make n 0;
+                 ps_last_tainted = Array.make n false;
+                 ps_min_pair = None;
+                 ps_min_self = None;
+                 ps_active_sources = 0;
+                 ps_single_valid_dominated = true;
+                 ps_triggered = [];
+                 ps_pair_min = [];
+                 ps_digest = 0;
+                 ps_event_count = 0;
+               } ))
+           (points reg));
+    sv_cycle = 0;
+    sv_open = false;
+    sv_first_open = None;
+    sv_last_open = None;
+  }
+
+let capture reg sv =
+  Array.iter
+    (fun (p, ps) ->
+      let n = Array.length p.sources in
+      Array.blit p.last_valid 0 ps.ps_last_valid 0 n;
+      Array.blit p.hits 0 ps.ps_hits 0 n;
+      Array.blit p.last_tainted 0 ps.ps_last_tainted 0 n;
+      ps.ps_min_pair <- p.min_pair;
+      ps.ps_min_self <- p.min_self;
+      ps.ps_active_sources <- p.active_sources;
+      ps.ps_single_valid_dominated <- p.single_valid_dominated;
+      ps.ps_triggered <- Hashtbl.fold (fun k () acc -> k :: acc) p.triggered [];
+      ps.ps_pair_min <- Hashtbl.fold (fun k v acc -> (k, v) :: acc) p.pair_min [];
+      ps.ps_digest <- p.digest;
+      ps.ps_event_count <- p.event_count)
+    sv.sv_points;
+  sv.sv_cycle <- reg.cycle;
+  sv.sv_open <- reg.open_;
+  sv.sv_first_open <- reg.first_open;
+  sv.sv_last_open <- reg.last_open
+
+let restore reg sv =
+  Array.iter
+    (fun (p, ps) ->
+      let n = Array.length p.sources in
+      Array.blit ps.ps_last_valid 0 p.last_valid 0 n;
+      Array.blit ps.ps_hits 0 p.hits 0 n;
+      Array.blit ps.ps_last_tainted 0 p.last_tainted 0 n;
+      p.min_pair <- ps.ps_min_pair;
+      p.min_self <- ps.ps_min_self;
+      p.active_sources <- ps.ps_active_sources;
+      p.single_valid_dominated <- ps.ps_single_valid_dominated;
+      Hashtbl.reset p.triggered;
+      List.iter (fun k -> Hashtbl.replace p.triggered k ()) ps.ps_triggered;
+      Hashtbl.reset p.pair_min;
+      List.iter (fun (k, v) -> Hashtbl.replace p.pair_min k v) ps.ps_pair_min;
+      p.digest <- ps.ps_digest;
+      p.event_count <- ps.ps_event_count)
+    sv.sv_points;
+  reg.cycle <- sv.sv_cycle;
+  reg.open_ <- sv.sv_open;
+  reg.first_open <- sv.sv_first_open;
+  reg.last_open <- sv.sv_last_open
+
 type snapshot = {
   point_name : string;
   s_hits : int array;

@@ -103,6 +103,16 @@ val window_bounds : registry -> (int * int) option
 
 val points : registry -> t list
 
+type save
+(** Preallocated registry checkpoint: one buffer per registered point plus
+    the window/cycle state. Make it {e after} all points are registered
+    (registration is structural, so the point set is stable once the cores
+    exist); capture/restore then run allocation-light. *)
+
+val make_save : registry -> save
+val capture : registry -> save -> unit
+val restore : registry -> save -> unit
+
 val triggered_weight : t -> float
 (** Netlist contention points this point contributes to coverage:
     [fanout × triggered_subs / max_subs]. *)

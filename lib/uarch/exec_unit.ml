@@ -123,6 +123,50 @@ let try_issue_mem t ~cycle ~tainted =
 
 let wb_source = function Wb_alu -> 0 | Wb_mul -> 1 | Wb_div -> 2 | Wb_mem -> 3
 
+let reset t =
+  t.alu_used <- 0;
+  t.mem_used <- 0;
+  t.mul_issued <- false;
+  t.div_busy_until <- -1;
+  t.mdu_busy_until <- -1;
+  t.pending_wb <- []
+
+type save = {
+  mutable s_alu_used : int;
+  mutable s_mem_used : int;
+  mutable s_mul_issued : bool;
+  mutable s_div_busy_until : int;
+  mutable s_mdu_busy_until : int;
+  mutable s_pending_wb : pending_wb list;
+}
+
+let make_save () =
+  {
+    s_alu_used = 0;
+    s_mem_used = 0;
+    s_mul_issued = false;
+    s_div_busy_until = -1;
+    s_mdu_busy_until = -1;
+    s_pending_wb = [];
+  }
+
+let capture t sv =
+  sv.s_alu_used <- t.alu_used;
+  sv.s_mem_used <- t.mem_used;
+  sv.s_mul_issued <- t.mul_issued;
+  sv.s_div_busy_until <- t.div_busy_until;
+  sv.s_mdu_busy_until <- t.mdu_busy_until;
+  (* [pending_wb] holds immutable records; sharing the spine is safe. *)
+  sv.s_pending_wb <- t.pending_wb
+
+let restore t sv =
+  t.alu_used <- sv.s_alu_used;
+  t.mem_used <- sv.s_mem_used;
+  t.mul_issued <- sv.s_mul_issued;
+  t.div_busy_until <- sv.s_div_busy_until;
+  t.mdu_busy_until <- sv.s_mdu_busy_until;
+  t.pending_wb <- sv.s_pending_wb
+
 let purge_writeback t ~keep =
   t.pending_wb <- List.filter (fun p -> keep p.id) t.pending_wb
 

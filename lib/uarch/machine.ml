@@ -30,35 +30,58 @@ and point_stat = {
   ps_n_sources : int;
 }
 
+type dual_stats = { fork_cycle : int option; cycles_saved : int }
+
 let default_max_cycles = 200_000
 
 module Ctx = struct
-  type slot = { s_reg : Cpoint.registry; s_ms : Memsys.t }
+  type checkpoint_bufs = {
+    k_reg : Cpoint.save;
+    k_ms : Memsys.save;
+    k_cores : Core_model.save array;
+  }
+
+  type slot = {
+    s_reg : Cpoint.registry;
+    s_ms : Memsys.t;
+    mutable s_cores : Core_model.t array option;
+        (* cached per-core models, re-armed via [Core_model.prepare] *)
+    mutable s_kbufs : checkpoint_bufs option;
+        (* preallocated dual-run checkpoint buffers; made lazily once the
+           cores exist (all contention points are registered by then, so
+           the registry save covers every point) *)
+  }
 
   type t = {
     ctx_cfg : Config.t;
+    ctx_fp : int;
     mutable slots : (int * slot) list;  (* keyed by core count (1 or 2) *)
   }
 
-  let create cfg = { ctx_cfg = cfg; slots = [] }
-  let config t = t.ctx_cfg
+  let create cfg =
+    { ctx_cfg = cfg; ctx_fp = Config.fingerprint cfg; slots = [] }
 
-  (* Acquire the (registry, memsys) pair for this core count, reset to cold
-     start; allocate it on first use. The dominant per-run allocations —
-     cache line arrays (the L2 alone is thousands of line records) and the
-     contention-point tables — happen once per (context, core count)
+  let config t = t.ctx_cfg
+  let fingerprint t = t.ctx_fp
+
+  (* Acquire the slot for this core count with its registry and memory
+     hierarchy reset to cold start; allocate it on first use. The dominant
+     per-run allocations — cache line arrays (the L2 alone is thousands of
+     line records), the contention-point tables, and (via [s_cores]) the
+     per-core pipeline models — happen once per (context, core count)
      instead of twice per testcase. *)
   let slot t ~cores =
     match List.assoc_opt cores t.slots with
-    | Some { s_reg; s_ms } ->
-        Cpoint.reset s_reg;
-        Memsys.reset s_ms;
-        (s_reg, s_ms)
+    | Some sl ->
+        Cpoint.reset sl.s_reg;
+        Memsys.reset sl.s_ms;
+        sl
     | None ->
         let reg = Cpoint.create t.ctx_cfg in
         let ms = Memsys.create t.ctx_cfg reg ~cores in
-        t.slots <- (cores, { s_reg = reg; s_ms = ms }) :: t.slots;
-        (reg, ms)
+        let sl = { s_reg = reg; s_ms = ms; s_cores = None; s_kbufs = None } in
+        t.slots <- (cores, sl) :: t.slots;
+        sl
 end
 
 let point_stat (p : Cpoint.t) =
@@ -75,35 +98,60 @@ let point_stat (p : Cpoint.t) =
     ps_pair_intervals = Cpoint.pair_intervals p;
   }
 
-let run ?(max_cycles = default_max_cycles) ?ctx cfg inputs =
+(* Build (or re-arm, under a context) the per-run machine state for the
+   given inputs and their precomputed golden outcomes. *)
+let acquire ?ctx cfg inputs outcomes =
   let n = Array.length inputs in
-  if n < 1 || n > 2 then invalid_arg "Machine.run: 1 or 2 cores";
-  let reg, ms =
-    match ctx with
-    | None ->
-        let reg = Cpoint.create cfg in
-        (reg, Memsys.create cfg reg ~cores:n)
-    | Some ctx ->
-        if not (Ctx.config ctx == cfg || Ctx.config ctx = cfg) then
-          invalid_arg "Machine.run: ctx was created for a different config";
-        Ctx.slot ctx ~cores:n
+  match ctx with
+  | None ->
+      let reg = Cpoint.create cfg in
+      let ms = Memsys.create cfg reg ~cores:n in
+      let cores =
+        Array.init n (fun i ->
+            Core_model.create cfg reg ms ~core_id:i ~outcome:outcomes.(i)
+              ~secret_range:inputs.(i).secret_range ~drives_window:(i = 0))
+      in
+      (reg, ms, cores, None)
+  | Some ctx ->
+      if not (Ctx.config ctx == cfg || Ctx.config ctx = cfg) then
+        invalid_arg "Machine.run: ctx was created for a different config";
+      let sl = Ctx.slot ctx ~cores:n in
+      let cores =
+        match sl.Ctx.s_cores with
+        | Some cores ->
+            Array.iteri
+              (fun i c ->
+                Core_model.prepare c ~outcome:outcomes.(i)
+                  ~secret_range:inputs.(i).secret_range)
+              cores;
+            cores
+        | None ->
+            let cores =
+              Array.init n (fun i ->
+                  Core_model.create cfg sl.Ctx.s_reg sl.Ctx.s_ms ~core_id:i
+                    ~outcome:outcomes.(i)
+                    ~secret_range:inputs.(i).secret_range
+                    ~drives_window:(i = 0))
+            in
+            sl.Ctx.s_cores <- Some cores;
+            cores
+      in
+      (sl.Ctx.s_reg, sl.Ctx.s_ms, cores, Some sl)
+
+let sim_loop reg ms cores ~from ~max_cycles =
+  let cycle = ref from in
+  let all_done () =
+    Array.for_all Core_model.finished cores && not (Memsys.busy ms)
   in
-  let cores =
-    Array.mapi
-      (fun i input ->
-        let outcome = Sonar_isa.Golden.run input.program in
-        Core_model.create cfg reg ms ~core_id:i ~outcome
-          ~secret_range:input.secret_range ~drives_window:(i = 0))
-      inputs
-  in
-  let cycle = ref 0 in
-  let all_done () = Array.for_all Core_model.finished cores && not (Memsys.busy ms) in
   while (not (all_done ())) && !cycle < max_cycles do
     Cpoint.set_cycle reg !cycle;
     Array.iter (fun c -> Core_model.step c ~cycle:!cycle) cores;
     Memsys.tick ms ~cycle:!cycle;
     incr cycle
   done;
+  !cycle
+
+let collect reg cores ~cycles ~max_cycles =
   {
     cores =
       Array.map
@@ -113,12 +161,298 @@ let run ?(max_cycles = default_max_cycles) ?ctx cfg inputs =
             transient_executed = Core_model.transient_executed c;
           })
         cores;
-    cycles = !cycle;
+    cycles;
     snapshots = Cpoint.snapshots reg;
     window = Cpoint.window_bounds reg;
     point_stats = List.map point_stat (Cpoint.points reg);
-    hit_cycle_limit = !cycle >= max_cycles;
+    hit_cycle_limit = cycles >= max_cycles;
   }
+
+let check_core_count n name =
+  if n < 1 || n > 2 then invalid_arg (name ^ ": 1 or 2 cores")
+
+let run ?(max_cycles = default_max_cycles) ?ctx cfg inputs =
+  check_core_count (Array.length inputs) "Machine.run";
+  let outcomes =
+    Array.map (fun input -> Sonar_isa.Golden.run input.program) inputs
+  in
+  let reg, ms, cores, _slot = acquire ?ctx cfg inputs outcomes in
+  let cycles = sim_loop reg ms cores ~from:0 ~max_cycles in
+  collect reg cores ~cycles ~max_cycles
 
 let run_single ?max_cycles ?(secret_range = None) cfg program =
   run ?max_cycles cfg [| { program; secret_range } |]
+
+(* --- Prefix-checkpointed dual runs --- *)
+
+(* Cap a fork bound at the smallest position whose transient continuation
+   differs between the outcomes or exists under only one secret —
+   consuming a faulting position switches fetch to its transient
+   continuation within the same cycle, and transient uops carry no trace
+   position, so a checkpoint cannot re-point them afterwards.  Structural
+   comparison of whole continuations (values included): transient uops do
+   reach issue, where values are read. *)
+let cap_at_transient_divergence (o0 : Sonar_isa.Golden.outcome)
+    (o1 : Sonar_isa.Golden.outcome) bound =
+  let fork = ref bound in
+  List.iter
+    (fun (pos, cont0) ->
+      if pos < !fork then
+        match List.assoc_opt pos o1.transients with
+        | Some cont1 -> if not (cont0 = cont1) then fork := pos
+        | None -> fork := pos)
+    o0.transients;
+  List.iter
+    (fun ((pos : int), _) ->
+      if pos < !fork && not (List.mem_assoc pos o0.transients) then fork := pos)
+    o1.transients;
+  !fork
+
+(* The {e value} fork: the first architectural trace position at which the
+   two runs' golden effects differ at all — the longest common prefix of
+   the golden traces (structural comparison covers pc, instruction,
+   writeback value, memory effect, branch direction and fault), capped at
+   transient divergence.  A uop at or past this position must not reach
+   issue before the checkpoint is captured (issue reads values); it
+   {e may} be fetched and dispatched, where nothing reads values —
+   restore re-points such uops at the other run's trace.  The bound is
+   exclusive.  Physically shared outcomes (same program, see [run_dual])
+   place no constraint at all. *)
+let fork_position (o0 : Sonar_isa.Golden.outcome) (o1 : Sonar_isa.Golden.outcome)
+    =
+  if o0 == o1 then max_int
+  else begin
+    let t0 = o0.trace and t1 = o1.trace in
+    let n = min (Array.length t0) (Array.length t1) in
+    let lcp = ref n in
+    (try
+       for i = 0 to n - 1 do
+         if not (t0.(i) = t1.(i)) then begin
+           lcp := i;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    cap_at_transient_divergence o0 o1 !lcp
+  end
+
+(* Equality on every effect field the front end can read: [wb] and [mem]
+   are the written-back / loaded-or-stored values, which no stage before
+   issue inspects, so they are excluded. *)
+let fetch_visible_equal (a : Sonar_isa.Golden.effect)
+    (b : Sonar_isa.Golden.effect) =
+  a.Sonar_isa.Golden.seq = b.Sonar_isa.Golden.seq
+  && a.index = b.index && a.pc = b.pc && a.instr = b.instr
+  && a.taken = b.taken && a.fault = b.fault && a.transient = b.transient
+
+(* The {e fetch} fork: the first architectural trace position whose
+   fetch-visible fields differ between the runs (or where one trace ends),
+   ≥ [fork_issue] since positions below it are fully equal.  Fetch must
+   not consume this position before the checkpoint is captured — the
+   front end reads pc / instruction / branch direction / fault at fetch
+   time — but positions in [fork_issue, fork_fetch) differ only in values
+   and may be fetched freely.  Two adjustments: an indirect jump ([Jalr])
+   fetched at [d - 1] predicts through position [d]'s pc (or through its
+   absence at trace end), so the bound pulls back to the jump; and the
+   same transient cap as [fork_position] applies, since a faulting
+   position's continuation is consumed by fetch in the same cycle. *)
+let fork_fetch_position (o0 : Sonar_isa.Golden.outcome)
+    (o1 : Sonar_isa.Golden.outcome) ~fork_issue =
+  if o0 == o1 then max_int
+  else begin
+    let t0 = o0.trace and t1 = o1.trace in
+    let n = min (Array.length t0) (Array.length t1) in
+    (* Equal-length traces with no fetch-visible difference place no
+       fetch constraint at all; the end-of-trace bound [n] matters only
+       when one run keeps fetching where the other stops. *)
+    let d = ref (if Array.length t0 = Array.length t1 then max_int else n) in
+    (try
+       for i = fork_issue to n - 1 do
+         if not (fetch_visible_equal t0.(i) t1.(i)) then begin
+           d := i;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    (if !d >= 1 && (!d < n || Array.length t0 <> Array.length t1) then
+       match t0.(!d - 1).Sonar_isa.Golden.instr with
+       | Sonar_isa.Instr.Jalr _ -> d := !d - 1
+       | _ -> ());
+    cap_at_transient_divergence o0 o1 !d
+  end
+
+(* The {e execution} fork: the first position whose backend-read fields
+   differ — memory address, or operand magnitude for mul/div (see
+   [Core_model.exec_visible_equal]).  A uop at or past this position must
+   not reach issue before the capture.  Positions in [fork_issue,
+   fork_exec) diverge only in fields the timing model never reads (loaded
+   or stored data, ALU results): uops from them may issue, complete and
+   commit before the capture, behaving cycle-identically under both
+   secrets — restore re-points their effect records wherever they ended
+   up, commit log included.  Same transient cap as the other forks:
+   transient uops read values at issue and cannot be re-pointed. *)
+let fork_exec_position cfg (o0 : Sonar_isa.Golden.outcome)
+    (o1 : Sonar_isa.Golden.outcome) ~fork_issue =
+  if o0 == o1 then max_int
+  else begin
+    let t0 = o0.trace and t1 = o1.trace in
+    let n = min (Array.length t0) (Array.length t1) in
+    (* As for the fetch fork: positions past the shorter trace's end are
+       constrained through the fetch arm, so equal-length traces with no
+       backend-read difference place no ROB constraint. *)
+    let d = ref (if Array.length t0 = Array.length t1 then max_int else n) in
+    (try
+       for i = fork_issue to n - 1 do
+         if not (Core_model.exec_visible_equal cfg t0.(i) t1.(i)) then begin
+           d := i;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    cap_at_transient_divergence o0 o1 !d
+  end
+
+let run_dual ?(max_cycles = default_max_cycles) ?ctx ?(checkpoint = true) cfg
+    inputs0 inputs1 =
+  let n = Array.length inputs0 in
+  check_core_count n "Machine.run_dual";
+  if Array.length inputs1 <> n then
+    invalid_arg "Machine.run_dual: core count mismatch";
+  let outcomes0 =
+    Array.map (fun (i : core_input) -> Sonar_isa.Golden.run i.program) inputs0
+  in
+  (* A core whose program is unchanged across secrets (the attacker in the
+     Figure 4b template) reuses run 0's golden outcome physically — the
+     golden half of the per-run reuse, and the marker [fork_position] uses
+     to lift the fork constraint for that core. *)
+  let outcomes1 =
+    Array.mapi
+      (fun i (input : core_input) ->
+        if input.program = inputs0.(i).program then outcomes0.(i)
+        else Sonar_isa.Golden.run input.program)
+      inputs1
+  in
+  let run_full inputs outcomes =
+    let reg, ms, cores, _slot = acquire ?ctx cfg inputs outcomes in
+    let cycles = sim_loop reg ms cores ~from:0 ~max_cycles in
+    collect reg cores ~cycles ~max_cycles
+  in
+  (* Checkpointing forks the taint pipeline too, so it requires identical
+     secret ranges per core; with differing ranges (never the case for
+     materialized testcases) fall back to two full runs. *)
+  let viable =
+    checkpoint
+    && Array.for_all2
+         (fun (a : core_input) (b : core_input) ->
+           a.secret_range = b.secret_range)
+         inputs0 inputs1
+  in
+  if not viable then begin
+    let r0 = run_full inputs0 outcomes0 in
+    let r1 = run_full inputs1 outcomes1 in
+    (r0, r1, { fork_cycle = None; cycles_saved = 0 })
+  end
+  else begin
+    let forks =
+      Array.init n (fun i -> fork_position outcomes0.(i) outcomes1.(i))
+    in
+    let forks_fetch =
+      Array.init n (fun i ->
+          fork_fetch_position outcomes0.(i) outcomes1.(i)
+            ~fork_issue:forks.(i))
+    in
+    let forks_exec =
+      Array.init n (fun i ->
+          fork_exec_position cfg outcomes0.(i) outcomes1.(i)
+            ~fork_issue:forks.(i))
+    in
+    let reg, ms, cores, slot = acquire ?ctx cfg inputs0 outcomes0 in
+    let fresh_kbufs () =
+      {
+        Ctx.k_reg = Cpoint.make_save reg;
+        k_ms = Memsys.make_save ms;
+        k_cores = Array.map (fun _ -> Core_model.make_save ()) cores;
+      }
+    in
+    let kbufs =
+      match slot with
+      | Some sl -> (
+          match sl.Ctx.s_kbufs with
+          | Some k -> k
+          | None ->
+              let k = fresh_kbufs () in
+              sl.Ctx.s_kbufs <- Some k;
+              k)
+      | None -> fresh_kbufs ()
+    in
+    (* Run 0, capturing the machine state at the top of the first cycle
+       in which a divergent position could reach a stage that reads its
+       divergence: fetch must stay below the fetch-visible fork, and no
+       ROB uop at or past the execution fork may become readable — a
+       divergent store as soon as it dispatches (younger loads search
+       store addresses), a divergent load or mul/div once its operands
+       could be ready for its own issue.  Up to that cycle both runs
+       are cycle-for-cycle identical except for the effect records of
+       value-divergent uops (fetch buffer, ROB, store buffer, commit
+       log), none of which has been read — restore re-points them at
+       run 1's trace. *)
+    let captured = ref (-1) in
+    let cycle = ref 0 in
+    let all_done () =
+      Array.for_all Core_model.finished cores && not (Memsys.busy ms)
+    in
+    let must_capture () =
+      let rec go i =
+        i < n
+        && (Core_model.fetch_bound cores.(i) ~cycle:!cycle > forks_fetch.(i)
+           || Core_model.rob_issue_reaches cores.(i) ~fork:forks_exec.(i)
+                ~cycle:!cycle
+           || go (i + 1))
+      in
+      go 0
+    in
+    while (not (all_done ())) && !cycle < max_cycles do
+      if !captured < 0 && must_capture () then begin
+        Cpoint.capture reg kbufs.Ctx.k_reg;
+        Memsys.capture ms kbufs.Ctx.k_ms;
+        Array.iteri (fun i c -> Core_model.capture c kbufs.Ctx.k_cores.(i)) cores;
+        captured := !cycle
+      end;
+      Cpoint.set_cycle reg !cycle;
+      Array.iter (fun c -> Core_model.step c ~cycle:!cycle) cores;
+      Memsys.tick ms ~cycle:!cycle;
+      incr cycle
+    done;
+    let r0 = collect reg cores ~cycles:!cycle ~max_cycles in
+    (* If the capture test stayed false for the whole of run 0 — no
+       divergent field was ever read (a secret whose dependent values are
+       never address- or latency-forming), or the budget cut the run short
+       of the fork — then run 1 is the same run cycle for cycle.  Capture
+       the final state: the resume below has nothing left to simulate and
+       run 1 costs only the restore. *)
+    if !captured < 0 then begin
+      Cpoint.capture reg kbufs.Ctx.k_reg;
+      Memsys.capture ms kbufs.Ctx.k_ms;
+      Array.iteri (fun i c -> Core_model.capture c kbufs.Ctx.k_cores.(i)) cores;
+      captured := !cycle
+    end;
+    (* Re-arm each core for run 1's golden trace, then overwrite the
+       dynamic state with the checkpoint (restore wins on everything it
+       saves, including the registry's window state), re-pointing
+       value-divergent uop and commit records at the new trace.  Resuming
+       at the capture cycle replays exactly what a full run 1 would have
+       done from that point. *)
+    Array.iteri
+      (fun i c ->
+        Core_model.prepare c ~outcome:outcomes1.(i)
+          ~secret_range:inputs1.(i).secret_range)
+      cores;
+    Cpoint.restore reg kbufs.Ctx.k_reg;
+    Memsys.restore ms kbufs.Ctx.k_ms;
+    Array.iteri
+      (fun i c -> Core_model.restore ~fork:forks.(i) c kbufs.Ctx.k_cores.(i))
+      cores;
+    let cycles1 = sim_loop reg ms cores ~from:!captured ~max_cycles in
+    let r1 = collect reg cores ~cycles:cycles1 ~max_cycles in
+    (r0, r1, { fork_cycle = Some !captured; cycles_saved = !captured })
+  end

@@ -40,6 +40,14 @@ and point_stat = {
   ps_n_sources : int;
 }
 
+type dual_stats = {
+  fork_cycle : int option;
+      (** cycle at which the checkpoint was captured, when one was *)
+  cycles_saved : int;
+      (** simulated cycles run 1 skipped by resuming from the checkpoint
+          (0 when checkpointing was off, not viable, or never captured) *)
+}
+
 val default_max_cycles : int
 
 (** Reusable run context: caches the contention-point registry and memory
@@ -59,12 +67,49 @@ module Ctx : sig
       first {!run} per core count. *)
 
   val config : t -> Config.t
+
+  val fingerprint : t -> int
+  (** {!Config.fingerprint} of the context's configuration, precomputed at
+      {!create} — the cheap cache-lookup key the executor's scratch-context
+      table compares instead of structural config equality. *)
 end
 
 val run :
   ?max_cycles:int -> ?ctx:Ctx.t -> Config.t -> core_input array -> result
 (** @raise Invalid_argument on 0 or more than 2 cores, or when [ctx] was
     created for a different configuration. *)
+
+val run_dual :
+  ?max_cycles:int ->
+  ?ctx:Ctx.t ->
+  ?checkpoint:bool ->
+  Config.t ->
+  core_input array ->
+  core_input array ->
+  result * result * dual_stats
+(** Run the same machine under two secrets. With [checkpoint] (default
+    [true]), run 0 executes in full while the machine state is snapshotted
+    at the top of the first cycle in which a secret-divergent instruction
+    could reach a pipeline stage that reads the divergence: fetch, for
+    instructions whose {e fetch-visible} effects (pc, opcode, branch
+    direction, fault) differ; issue, for instructions differing only in
+    {e backend-read} fields (memory addresses, mul/div latency operands),
+    which may be fetched and dispatched freely — no stage before issue
+    reads them — and are snapshotted only once their source operands could
+    be ready, riding out the dependency chains in front of them.
+    Divergence confined to fields the timing model never reads (loaded or
+    stored data, ALU results) forces no snapshot at all: such runs
+    capture at the final cycle and run 1 is skipped entirely. Run 1
+    otherwise restores the snapshot, re-points divergent fetch-buffer,
+    ROB, store-buffer and commit-log entries at its own golden trace, and
+    resumes from the capture cycle, skipping the shared prefix. Golden
+    simulation of a core whose program is identical across secrets (the
+    attacker core) runs once and is shared. Both results are bit-identical
+    to two independent {!run} calls — the determinism invariant the
+    equivalence tests assert — so checkpointing is purely a
+    simulated-cycle optimisation.
+    @raise Invalid_argument on 0 or more than 2 cores, mismatched core
+    counts, or a [ctx] for a different configuration. *)
 
 val run_single :
   ?max_cycles:int ->

@@ -133,6 +133,85 @@ let reset t =
   Array.fill t.icache_port_busy 0 (Array.length t.icache_port_busy) (-1);
   Array.fill t.write_lb_busy 0 (Array.length t.write_lb_busy) (-1)
 
+(* Checkpoint support.  Transfers are mutable records, so capture deep-
+   copies each one (preserving list order — grant arbitration folds over
+   the list).  Waiter lists are captured as [(key, contents)] and restored
+   into fresh refs with their order preserved.  The remaining hashtables
+   are read only via [find_opt], so assoc-list replay is faithful. *)
+
+type save = {
+  mutable s_transfers : transfer list;
+  mutable s_channel_busy_until : int;
+  s_mshrs : mshr_entry option array array;
+  mutable s_load_waiters : ((int * int64) * waiter list) list;
+  mutable s_store_waiters : ((int * int64) * waiter list) list;
+  mutable s_load_ready : ((int * int) * int) list;
+  mutable s_store_ready : ((int * int) * int) list;
+  mutable s_ifetch_ready : ((int * int64) * int) list;
+  s_icache_port_busy : int array;
+  s_write_lb_busy : int array;
+  s_l1i : Cache.save array;
+  s_l1d : Cache.save array;
+  s_l2 : Cache.save;
+}
+
+let make_save t =
+  {
+    s_transfers = [];
+    s_channel_busy_until = 0;
+    s_mshrs = Array.map (fun m -> Array.make (Array.length m) None) t.mshrs;
+    s_load_waiters = [];
+    s_store_waiters = [];
+    s_load_ready = [];
+    s_store_ready = [];
+    s_ifetch_ready = [];
+    s_icache_port_busy = Array.make t.cores (-1);
+    s_write_lb_busy = Array.make t.cores (-1);
+    s_l1i = Array.map Cache.make_save t.l1i;
+    s_l1d = Array.map Cache.make_save t.l1d;
+    s_l2 = Cache.make_save t.l2;
+  }
+
+let assoc_of_tbl tbl = Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+
+let tbl_of_assoc tbl assoc =
+  Hashtbl.reset tbl;
+  List.iter (fun (k, v) -> Hashtbl.replace tbl k v) assoc
+
+let capture t sv =
+  sv.s_transfers <- List.map (fun tr -> { tr with ready_at = tr.ready_at }) t.transfers;
+  sv.s_channel_busy_until <- t.channel_busy_until;
+  Array.iteri (fun i m -> Array.blit m 0 sv.s_mshrs.(i) 0 (Array.length m)) t.mshrs;
+  sv.s_load_waiters <-
+    Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.load_waiters [];
+  sv.s_store_waiters <-
+    Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.store_waiters [];
+  sv.s_load_ready <- assoc_of_tbl t.load_ready_tbl;
+  sv.s_store_ready <- assoc_of_tbl t.store_ready_tbl;
+  sv.s_ifetch_ready <- assoc_of_tbl t.ifetch_ready_tbl;
+  Array.blit t.icache_port_busy 0 sv.s_icache_port_busy 0 t.cores;
+  Array.blit t.write_lb_busy 0 sv.s_write_lb_busy 0 t.cores;
+  Array.iteri (fun i c -> Cache.capture c sv.s_l1i.(i)) t.l1i;
+  Array.iteri (fun i c -> Cache.capture c sv.s_l1d.(i)) t.l1d;
+  Cache.capture t.l2 sv.s_l2
+
+let restore t sv =
+  t.transfers <- List.map (fun tr -> { tr with ready_at = tr.ready_at }) sv.s_transfers;
+  t.channel_busy_until <- sv.s_channel_busy_until;
+  Array.iteri (fun i m -> Array.blit sv.s_mshrs.(i) 0 m 0 (Array.length m)) t.mshrs;
+  Hashtbl.reset t.load_waiters;
+  List.iter (fun (k, l) -> Hashtbl.replace t.load_waiters k (ref l)) sv.s_load_waiters;
+  Hashtbl.reset t.store_waiters;
+  List.iter (fun (k, l) -> Hashtbl.replace t.store_waiters k (ref l)) sv.s_store_waiters;
+  tbl_of_assoc t.load_ready_tbl sv.s_load_ready;
+  tbl_of_assoc t.store_ready_tbl sv.s_store_ready;
+  tbl_of_assoc t.ifetch_ready_tbl sv.s_ifetch_ready;
+  Array.blit sv.s_icache_port_busy 0 t.icache_port_busy 0 t.cores;
+  Array.blit sv.s_write_lb_busy 0 t.write_lb_busy 0 t.cores;
+  Array.iteri (fun i c -> Cache.restore c sv.s_l1i.(i)) t.l1i;
+  Array.iteri (fun i c -> Cache.restore c sv.s_l1d.(i)) t.l1d;
+  Cache.restore t.l2 sv.s_l2
+
 let find_transfer t ~core ~kind ~line =
   List.find_opt
     (fun tr ->

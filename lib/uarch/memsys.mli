@@ -36,6 +36,17 @@ val reset : t -> unit
     reused hierarchy bit-identical in behavior to a fresh {!create} — the
     contract behind {!Machine.Ctx} run-context reuse. *)
 
+type save
+(** Preallocated checkpoint buffer for one hierarchy (caches, MSHRs,
+    in-flight transfers, waiter/ready tables, port busy-state). *)
+
+val make_save : t -> save
+val capture : t -> save -> unit
+val restore : t -> save -> unit
+(** [restore t sv] makes the hierarchy behave bit-identically to the
+    state [capture t sv] saw. Pair with {!Cpoint.restore} on the owning
+    registry. *)
+
 val ifetch :
   t -> core:int -> addr:int64 -> cycle:int -> tainted:bool -> access_result
 (** [tainted] marks accesses on behalf of secret-dependent instructions;

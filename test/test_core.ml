@@ -376,24 +376,30 @@ let minor_words_during f =
   Gc.minor_words () -. before
 
 let test_executor_scratch_allocates_less () =
-  (* The batch path runs on a reused worker-local Machine.Ctx, so it must
-     allocate substantially less than per-testcase fresh machines — the
-     cache line arrays and contention-point tables dominate a fresh run's
-     minor-heap traffic (measured ~0.5x on boom; 0.75 leaves slack). *)
+  (* Every executor path now runs on a reused worker-local Machine.Ctx —
+     including one-off [Executor.execute] — so the baseline here is
+     explicitly-fresh machines built through [Machine.run] without a
+     context. The reused path must allocate a small fraction of that:
+     cache line arrays, contention-point tables and the per-core pipeline
+     models all come from the context instead of the minor heap. *)
   let rng = Rng.create 31L in
   let tcs = List.init 4 (fun i -> Testcase.random rng ~id:(i + 1) ~dual:false) in
   let cfg = Sonar_uarch.Config.boom in
   ignore (Executor.execute_batch cfg tcs);
   let fresh =
     minor_words_during (fun () ->
-        List.iter (fun tc -> ignore (Executor.execute cfg tc)) tcs)
+        List.iter
+          (fun tc ->
+            ignore (Sonar_uarch.Machine.run cfg (Testcase.materialize tc ~secret:0));
+            ignore (Sonar_uarch.Machine.run cfg (Testcase.materialize tc ~secret:1)))
+          tcs)
   in
   let reused = minor_words_during (fun () -> ignore (Executor.execute_batch cfg tcs)) in
   checkb
     (Printf.sprintf "scratch path allocates less (fresh %.0f, reused %.0f)"
        fresh reused)
     true
-    (reused < 0.75 *. fresh)
+    (reused < 0.5 *. fresh)
 
 let test_executor_batch_matches_sequential () =
   let rng = Rng.create 21L in

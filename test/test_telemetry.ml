@@ -659,6 +659,7 @@ let test_options_record_equivalences () =
           jobs = 1;
           batch = 5;
           chunk = None;
+          checkpoint = true;
           sinks = [];
         }
       nutshell Fuzzer.full_strategy ~iterations:15
