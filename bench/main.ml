@@ -211,12 +211,12 @@ let fig8 () =
   let campaigns =
     pmap
       (fun (cfg, guided) ->
-        if guided then
-          Sonar.Fuzzer.run
-            ~options:{ Sonar.Fuzzer.Options.default with seed = 42L }
-            cfg Sonar.Fuzzer.full_strategy ~iterations:fuzz_iterations
-        else
-          Sonar.Baseline.random_testing ~seed:42L cfg ~iterations:fuzz_iterations)
+        Sonar.Fuzzer.run
+          ~options:{ Sonar.Fuzzer.Options.default with seed = 42L }
+          cfg
+          (if guided then Sonar.Fuzzer.full_strategy
+           else Sonar.Fuzzer.random_strategy)
+          ~iterations:fuzz_iterations)
       (List.concat_map
          (fun cfg -> [ (cfg, true); (cfg, false) ])
          [ Sonar_uarch.Config.boom; Sonar_uarch.Config.nutshell ])
@@ -280,9 +280,11 @@ let fig10 () =
     [
       ("random (none)", Sonar.Fuzzer.random_strategy);
       ( "retention",
-        { Sonar.Fuzzer.retention = true; selection = false; directed_mutation = false } );
+        Sonar.Feedback.of_flags
+          { retention = true; selection = false; directed_mutation = false } );
       ( "retention+selection",
-        { Sonar.Fuzzer.retention = true; selection = true; directed_mutation = false } );
+        Sonar.Feedback.of_flags
+          { retention = true; selection = true; directed_mutation = false } );
       ("full (directed mutation)", Sonar.Fuzzer.full_strategy);
     ]
   in
@@ -567,6 +569,116 @@ let speedup () =
   Printf.printf "  wrote BENCH_parallel.json\n"
 
 (* ------------------------------------------------------------------ *)
+(* Strategy shoot-out: every registered feedback strategy on the same
+   budget, with the determinism contract cross-checked per strategy.     *)
+
+let strategies () =
+  section "strategies"
+    "Feedback strategy shoot-out: channels found per registered strategy";
+  let cfg = Sonar_uarch.Config.nutshell in
+  let iters = if smoke then 60 else max 200 (fuzz_iterations / 2) in
+  (* A batch smaller than the campaign so selection/reward feedback kicks
+     in across several generations even at smoke scale; fixed across the
+     jobs=1 / jobs=2 comparison (batch shapes the campaign, jobs must
+     not). *)
+  let batch = min Sonar.Fuzzer.default_batch (max 8 (iters / 5)) in
+  Printf.printf "%s, %d iterations, batch=%d, seed=42 — %d strategies\n%!"
+    cfg.Sonar_uarch.Config.name iters batch
+    (List.length Sonar.Feedback.names);
+  (* Stateful strategies (bandit, novelty tables) learn in-place, so each
+     campaign gets a fresh instance from the registry; the trace is the
+     default-class JSONL stream (no wall-clock events), which the
+     determinism contract requires to be byte-identical across jobs. *)
+  let campaign name jobs =
+    let strategy =
+      match Sonar.Feedback.create name with
+      | Some s -> s
+      | None -> failwith ("unregistered strategy " ^ name)
+    in
+    let buf = Buffer.create 4096 in
+    let sink =
+      Sonar.Telemetry.jsonl (fun line ->
+          Buffer.add_string buf line;
+          Buffer.add_char buf '\n')
+    in
+    let o =
+      Sonar.Fuzzer.run
+        ~options:
+          {
+            Sonar.Fuzzer.Options.default with
+            seed = 42L;
+            jobs;
+            batch;
+            sinks = [ sink ];
+          }
+        cfg strategy ~iterations:iters
+    in
+    (o, Buffer.contents buf)
+  in
+  let channels_found (o : Sonar.Fuzzer.outcome) =
+    List.concat_map
+      (fun (_, (r : Sonar.Detector.report)) -> List.map fst r.state_diffs)
+      o.reports
+    |> List.sort_uniq compare |> List.length
+  in
+  let rows =
+    List.map
+      (fun name ->
+        let (o1, trace1), t = time_it (fun () -> campaign name 1) in
+        let o2, trace2 = campaign name 2 in
+        let identical = o1 = o2 && String.equal trace1 trace2 in
+        let channels = channels_found o1 in
+        Printf.printf
+          "  %-18s coverage %8.0f  timing diffs %5d  channels %3d  \
+           identical(jobs1=jobs2) %b  %6.2fs\n%!"
+          name o1.Sonar.Fuzzer.final_coverage o1.final_timing_diffs channels
+          identical t;
+        (name, o1, channels, identical, t))
+      Sonar.Feedback.names
+  in
+  let all_identical = List.for_all (fun (_, _, _, id, _) -> id) rows in
+  Printf.printf "  all strategies bit-identical across jobs: %b\n"
+    all_identical;
+  let doc =
+    Sonar.Json.Obj
+      [
+        ("dut", Sonar.Json.String cfg.Sonar_uarch.Config.name);
+        ("iterations", Sonar.Json.Int iters);
+        ("batch", Sonar.Json.Int batch);
+        ("seed", Sonar.Json.Int 42);
+        ("identical_all", Sonar.Json.Bool all_identical);
+        ( "strategies",
+          Sonar.Json.List
+            (List.map
+               (fun (name, (o : Sonar.Fuzzer.outcome), channels, id, t) ->
+                 Sonar.Json.Obj
+                   [
+                     ("name", Sonar.Json.String name);
+                     ( "description",
+                       Sonar.Json.String
+                         (Option.value ~default:""
+                            (List.assoc_opt name Sonar.Feedback.all)) );
+                     ("channels_found", Sonar.Json.Int channels);
+                     ( "weighted_coverage",
+                       Sonar.Json.Float o.final_coverage );
+                     ("timing_diffs", Sonar.Json.Int o.final_timing_diffs);
+                     ( "testcases_with_diffs",
+                       Sonar.Json.Int o.testcases_with_diffs );
+                     ( "contentions_triggered_testcases",
+                       Sonar.Json.Int o.contentions_triggered_testcases );
+                     ("identical", Sonar.Json.Bool id);
+                     ("seconds", Sonar.Json.Float t);
+                   ])
+               rows) );
+      ]
+  in
+  let oc = open_out "BENCH_strategies.json" in
+  output_string oc (Sonar.Json.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "  wrote BENCH_strategies.json\n"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: per-experiment kernels.                   *)
 
 (* Shared OLS-over-monotonic-clock runner for the bechamel-based
@@ -744,6 +856,7 @@ let experiments =
     ("exploit", exploit);
     ("mitigation", mitigation);
     ("speedup", speedup);
+    ("strategies", strategies);
     ("bechamel", bechamel);
     ("engine", engine_bench);
   ]

@@ -131,21 +131,40 @@ let positive_or_die ~flag = function
       exit 1
   | v -> v
 
-let fuzz dut iterations seed random_mode dual jobs batch chunk no_checkpoint
-    trace timings stats progress format =
+let list_strategies () =
+  List.iter
+    (fun (name, description) -> Printf.printf "%-18s %s\n" name description)
+    Sonar.Feedback.all;
+  0
+
+let unknown_strategy name =
+  Printf.eprintf "unknown strategy %s; valid strategies: %s\n" name
+    (String.concat ", " Sonar.Feedback.names);
+  1
+
+let fuzz dut iterations seed strategy_name list random_mode dual jobs batch
+    chunk no_checkpoint trace timings stats progress format =
+  if list then list_strategies ()
+  else
   let jobs = positive_or_die ~flag:"--jobs" jobs in
   let checkpoint = not no_checkpoint in
   let batch =
     Option.get (positive_or_die ~flag:"--batch" (Some batch))
   in
   let chunk = positive_or_die ~flag:"--chunk" chunk in
+  (* --strategy NAME wins; --random remains shorthand for --strategy
+     random; the default is the paper's policy. *)
+  let strategy_name =
+    match strategy_name with
+    | Some name -> name
+    | None -> if random_mode then "random" else "sonar"
+  in
+  match Sonar.Feedback.create strategy_name with
+  | None -> unknown_strategy strategy_name
+  | Some strategy -> (
   match config_of_name dut with
   | Error (`Msg m) -> prerr_endline m; 1
   | Ok cfg ->
-      let strategy =
-        if random_mode then Sonar.Fuzzer.random_strategy
-        else Sonar.Fuzzer.full_strategy
-      in
       let jobs =
         match jobs with Some j -> j | None -> Sonar.Domain_pool.default_jobs ()
       in
@@ -193,8 +212,7 @@ let fuzz dut iterations seed random_mode dual jobs batch chunk no_checkpoint
               ("dut", Json.String dut);
               ("iterations", Json.Int iterations);
               ("seed", Json.Int seed);
-              ( "strategy",
-                Json.String (if random_mode then "random" else "guided") );
+              ("strategy", Json.String strategy.Sonar.Feedback.name);
               ("dual", Json.Bool dual);
               ("jobs", Json.Int jobs);
               ("batch", Json.Int batch);
@@ -224,10 +242,10 @@ let fuzz dut iterations seed random_mode dual jobs batch chunk no_checkpoint
             (Json.to_string (Json.Obj (meta @ outcome_fields @ metrics @ obs_fields)))
       | `Text ->
           Format.printf
-            "%s, %d iterations (%s):@.  contention coverage %.0f netlist points@.  \
-             %d secret-reflecting timing differences in %d testcases@."
-            dut iterations
-            (if random_mode then "random testing" else "guided")
+            "%s, %d iterations (strategy %s):@.  contention coverage %.0f \
+             netlist points@.  %d secret-reflecting timing differences in %d \
+             testcases@."
+            dut iterations strategy.Sonar.Feedback.name
             o.Sonar.Fuzzer.final_coverage o.final_timing_diffs
             o.testcases_with_diffs;
           List.iteri
@@ -243,7 +261,7 @@ let fuzz dut iterations seed random_mode dual jobs batch chunk no_checkpoint
             (fun s ->
               Format.printf "@.%a@." (fun ppf -> Telemetry.Observatory.pp ppf) s)
             observatory);
-      0
+      0)
 
 (* ------------------------------------------------------------------ *)
 (* report                                                              *)
@@ -353,6 +371,23 @@ let fuzz_cmd =
     Arg.(value & opt int 200 & info [ "n"; "iterations" ] ~docv:"N" ~doc:"Iterations.")
   in
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"RNG seed.") in
+  let strategy =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "strategy" ] ~docv:"NAME"
+          ~doc:
+            "Feedback strategy driving the campaign (see \
+             $(b,--list-strategies)). Default: $(b,sonar), the paper's \
+             policy; $(b,--random) is shorthand for $(b,--strategy random).")
+  in
+  let list =
+    Arg.(
+      value
+      & flag
+      & info [ "list-strategies" ]
+          ~doc:"List the shipped feedback strategies and exit.")
+  in
   let random_mode =
     Arg.(value & flag & info [ "random" ] ~doc:"Disable all guidance (baseline).")
   in
@@ -442,8 +477,9 @@ let fuzz_cmd =
   in
   Cmd.v (Cmd.info "fuzz" ~doc)
     Term.(
-      const fuzz $ dut_arg $ iters $ seed $ random_mode $ dual $ jobs $ batch
-      $ chunk $ no_checkpoint $ trace $ timings $ stats $ progress $ format_arg)
+      const fuzz $ dut_arg $ iters $ seed $ strategy $ list $ random_mode
+      $ dual $ jobs $ batch $ chunk $ no_checkpoint $ trace $ timings $ stats
+      $ progress $ format_arg)
 
 let report_cmd =
   let doc = "build an offline report from a JSONL telemetry trace" in

@@ -17,6 +17,10 @@ val random_testing :
   Sonar_uarch.Config.t ->
   iterations:int ->
   Fuzzer.outcome
+[@@ocaml.deprecated
+  "use Fuzzer.run with the Feedback.random strategy preset instead"]
+(** One-line wrapper over {!Fuzzer.run} with {!Feedback.random}; kept for
+    one release now that the random baseline is just a strategy preset. *)
 
 val specdoctor :
   ?seed:int64 ->

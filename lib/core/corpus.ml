@@ -45,6 +45,23 @@ let add_entry ?emit t e =
   t.next <- (t.next + 1) mod capacity t;
   if t.count < capacity t then t.count <- t.count + 1
 
+let add ?emit t tc ~intervals =
+  List.iter
+    (fun (point, v) ->
+      match Hashtbl.find_opt t.best point with
+      | Some best when best <= v -> ()
+      | Some _ | None ->
+          Hashtbl.replace t.best point v;
+          Hashtbl.remove t.attempts point)
+    intervals;
+  add_entry ?emit t { tc; intervals };
+  match emit with
+  | Some emit ->
+      emit
+        (Telemetry.Corpus_retained
+           { testcase_id = tc.Testcase.id; corpus_size = t.count })
+  | None -> ()
+
 let consider ?emit t tc ~intervals =
   let improves =
     List.exists
@@ -55,21 +72,7 @@ let consider ?emit t tc ~intervals =
       intervals
   in
   if improves then begin
-    List.iter
-      (fun (point, v) ->
-        match Hashtbl.find_opt t.best point with
-        | Some best when best <= v -> ()
-        | Some _ | None ->
-            Hashtbl.replace t.best point v;
-            Hashtbl.remove t.attempts point)
-      intervals;
-    add_entry ?emit t { tc; intervals };
-    (match emit with
-    | Some emit ->
-        emit
-          (Telemetry.Corpus_retained
-             { testcase_id = tc.Testcase.id; corpus_size = t.count })
-    | None -> ());
+    add ?emit t tc ~intervals;
     true
   end
   else false

@@ -17,6 +17,18 @@ type t
 
 val create : ?max_entries:int -> unit -> t
 
+val add :
+  ?emit:(Telemetry.event -> unit) ->
+  t ->
+  Testcase.t ->
+  intervals:(point * int) list ->
+  unit
+(** Retain the testcase unconditionally (feedback strategies whose novelty
+    criterion is not interval improvement — e.g. timing-coverage — still
+    share the ring buffer and best-interval bookkeeping). Best intervals
+    are updated where the testcase improves them; eviction and retention
+    events reach [emit] as in {!consider}. *)
+
 val consider :
   ?emit:(Telemetry.event -> unit) ->
   t ->

@@ -100,6 +100,17 @@ let per_component t =
     (fun c -> (c, Option.value ~default:0. (Hashtbl.find_opt t.comp_weight c)))
     Sonar_ir.Component.all
 
+let add_pair_delta t (pair : Executor.pair) =
+  let before = per_component t in
+  let added = add_pair t pair in
+  let delta =
+    List.map2
+      (fun (c, b) (_, a) -> (Sonar_ir.Component.to_string c, a -. b))
+      before (per_component t)
+    |> List.filter (fun (_, d) -> d > 0.)
+  in
+  (added, delta)
+
 let heatmap t =
   List.map
     (fun (c, w) -> (Sonar_ir.Component.to_string c, w))

@@ -23,6 +23,11 @@ val add_pair : t -> Executor.pair -> float
 (** Absorb both runs of an executed testcase; returns the {e new} coverage
     weight this testcase contributed. *)
 
+val add_pair_delta : t -> Executor.pair -> float * (string * float) list
+(** {!add_pair} plus the per-component breakdown of the added weight (only
+    components that gained; {!Sonar_ir.Component.all} order). The payload
+    of {!Feedback.observation.component_delta}. *)
+
 val total : t -> float
 
 val distinct_subs : t -> int

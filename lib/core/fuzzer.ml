@@ -1,11 +1,7 @@
-type strategy = {
-  retention : bool;
-  selection : bool;
-  directed_mutation : bool;
-}
+type strategy = Feedback.t
 
-let full_strategy = { retention = true; selection = true; directed_mutation = true }
-let random_strategy = { retention = false; selection = false; directed_mutation = false }
+let full_strategy = Feedback.sonar
+let random_strategy = Feedback.random
 
 type series_point = {
   iteration : int;
@@ -59,14 +55,23 @@ end
 
 (* A generated candidate awaiting execution: its iteration number, the
    directed-mutation target captured at generation time (pre-mutation best
-   interval included), and the testcase itself. *)
+   interval included), the operator that produced it (None = fresh), and
+   the testcase itself. *)
 type candidate = {
   cand_iteration : int;
-  cand_target : (Corpus.point * int option) option;
+  cand_target : Feedback.target option;
+  cand_op : Feedback.operator option;
   cand_tc : Testcase.t;
 }
 
-let run ?(options = Options.default) cfg strategy ~iterations =
+let apply_operator rng mstate ~directed_enabled op tc =
+  match (op : Feedback.operator) with
+  | Feedback.Composite -> Mutation.mutate rng mstate ~directed_enabled tc
+  | Feedback.Directed -> Mutation.directed rng mstate tc
+  | Feedback.Random_edit -> Mutation.random_edit rng tc
+  | Feedback.Similarity -> Mutation.enhance_similarity rng tc
+
+let run ?(options = Options.default) cfg (strategy : Feedback.t) ~iterations =
   let { Options.seed; dual; max_cycles; jobs; batch; chunk; checkpoint; sinks }
       =
     options
@@ -106,41 +111,44 @@ let run ?(options = Options.default) cfg strategy ~iterations =
   let series = ref [] in
   let reports = ref [] in
   let sv_weight_20 = ref 0. and total_weight_20 = ref 0. in
+  (* Campaign context handed to every strategy hook. The strategy's
+     mutate-vs-generate ratio is resolved once here, so a record update on
+     a preset ([{ Feedback.sonar with mutate_ratio = 0.5 }]) genuinely
+     tunes the campaign. *)
+  let campaign =
+    {
+      Feedback.corpus;
+      mstate;
+      emit = emit_opt;
+      mutate_ratio = strategy.Feedback.mutate_ratio;
+    }
+  in
   (* Generation phase: draw one candidate, sequentially, against the corpus
-     and mutation state as of the previous generation. Every candidate gets
+     and strategy state as of the previous generation. Every candidate gets
      its own split RNG stream, so the draw depends only on the (seed,
      iteration-order) prefix — never on worker count or scheduling. *)
   let generate iteration =
     let crng = Rng.split rng in
-    let fresh () = Testcase.random crng ~id:iteration ~dual in
-    if strategy.selection then begin
-      match Corpus.select corpus crng with
-      | Some (entry, point) when Rng.chance crng 0.75 ->
-          let tc =
-            Mutation.mutate crng mstate
-              ~directed_enabled:strategy.directed_mutation entry.tc
-          in
-          {
-            cand_iteration = iteration;
-            cand_target = Some (point, Corpus.best_interval corpus point);
-            cand_tc = tc;
-          }
-      | Some _ | None ->
-          { cand_iteration = iteration; cand_target = None; cand_tc = fresh () }
-    end
-    else if strategy.retention && Corpus.size corpus > 0 && Rng.chance crng 0.8
-    then begin
-      (* Retention without selection: mutate a random seed. *)
-      let tc =
-        match Corpus.select corpus crng with
-        | Some (entry, _) ->
-            Mutation.mutate crng mstate
-              ~directed_enabled:strategy.directed_mutation entry.tc
-        | None -> fresh ()
-      in
-      { cand_iteration = iteration; cand_target = None; cand_tc = tc }
-    end
-    else { cand_iteration = iteration; cand_target = None; cand_tc = fresh () }
+    match strategy.Feedback.select campaign crng with
+    | Some sel ->
+        let tc =
+          apply_operator crng mstate
+            ~directed_enabled:strategy.Feedback.directed_mutation
+            sel.Feedback.op sel.Feedback.entry.Corpus.tc
+        in
+        {
+          cand_iteration = iteration;
+          cand_target = sel.Feedback.target;
+          cand_op = Some sel.Feedback.op;
+          cand_tc = tc;
+        }
+    | None ->
+        {
+          cand_iteration = iteration;
+          cand_target = None;
+          cand_op = None;
+          cand_tc = Testcase.random crng ~id:iteration ~dual;
+        }
   in
   (* Fold phase: absorb one executed candidate. Runs sequentially in
      candidate order, so coverage / corpus / detector / mutation-feedback
@@ -157,7 +165,7 @@ let run ?(options = Options.default) cfg strategy ~iterations =
     cycles_saved := !cycles_saved + saved;
     if saved > 0 then incr checkpoint_hits;
     let intervals = Executor.min_intervals pair in
-    let added = Coverage.add_pair coverage pair in
+    let added, component_delta = Coverage.add_pair_delta coverage pair in
     if added > 0. then begin
       incr tcs_with_contention;
       if telemetry_on then
@@ -184,31 +192,27 @@ let run ?(options = Options.default) cfg strategy ~iterations =
                total_delta = report.Detector.total_delta;
              })
     end;
-    (* Directed-mutation feedback: did the target interval shrink? *)
-    (match cand.cand_target with
-    | Some (point, before) ->
-        let after = List.assoc_opt point intervals in
-        let improved =
-          match (before, after) with
-          | Some b, Some a -> a < b
-          | None, Some _ -> true
-          | _, None -> false
-        in
-        let dir_before = mstate.Mutation.dir in
-        Mutation.feedback mstate ~improved;
-        if telemetry_on && mstate.Mutation.dir <> dir_before then
-          emit
-            (Telemetry.Mutation_flip
-               {
-                 iteration;
-                 direction =
-                   (match mstate.Mutation.dir with
-                   | Mutation.Grow -> "grow"
-                   | Mutation.Shrink -> "shrink");
-               })
-    | None -> ());
-    if strategy.retention then
-      ignore (Corpus.consider ?emit:emit_opt corpus cand.cand_tc ~intervals);
+    (* Strategy hooks, in the order the legacy fold emitted its events:
+       reward (directed-mutation feedback / learner updates, which may
+       emit Mutation_flip) before consider (retention, which may emit
+       Corpus_evicted / Corpus_retained). *)
+    let obs =
+      {
+        Feedback.iteration;
+        testcase = cand.cand_tc;
+        pair;
+        intervals;
+        triggered = Executor.triggered pair;
+        coverage_added = added;
+        coverage_total = Coverage.total coverage;
+        component_delta;
+        report;
+        target = cand.cand_target;
+        op = cand.cand_op;
+      }
+    in
+    strategy.Feedback.reward campaign obs;
+    ignore (strategy.Feedback.consider campaign cand.cand_tc obs);
     series :=
       {
         iteration;
@@ -293,6 +297,13 @@ let run ?(options = Options.default) cfg strategy ~iterations =
     done;
     end_campaign ()
   in
+  (* Trace header: the outcome-determining campaign inputs. Emitted before
+     any generation, and never the wall-clock knobs (jobs/chunk/checkpoint)
+     — traces stay byte-identical across those. *)
+  if telemetry_on then
+    emit
+      (Telemetry.Campaign_start
+         { strategy = strategy.Feedback.name; seed; iterations; batch; dual });
   (* Exception safety: a crashing DUT (or sink) must still leave attached
      trace files flushed and parseable, so close every sink before
      re-raising. On the success path sinks stay open — callers may keep

@@ -11,9 +11,12 @@
     - per-iteration series for plotting, and the detector reports of every
       finding-bearing testcase.
 
-    The strategy record switches retention / selection / directed mutation
-    independently (the Figure 10 breakdown). All-off is the random-testing
-    baseline the paper compares against.
+    The feedback policy is a first-class {!Feedback.t} value: the loop
+    dispatches seed selection, post-execution learning and retention
+    through its hooks, so the paper's policy ({!Feedback.sonar}), the
+    random baseline ({!Feedback.random}), the boolean breakdown of
+    Figure 10 ({!Feedback.of_flags}) and the competitor strategies all run
+    through one campaign loop.
 
     {b Parallel execution.} The loop is organised in {e generations}: each
     generation draws [batch] candidates sequentially (each from its own
@@ -27,7 +30,8 @@
     bit-identical for every [jobs] and [chunk] value.
 
     {b Telemetry.} When {!Options.t.sinks} is non-empty, the campaign
-    streams {!Telemetry.event}s: generation boundaries, phase timings,
+    streams {!Telemetry.event}s: a {!Telemetry.event.Campaign_start}
+    header naming the strategy, generation boundaries, phase timings,
     per-(point, source-pair) interval histograms, per-component coverage
     heatmaps and profiling spans from this module, per-testcase execution
     events from {!Executor}, retention/eviction events from {!Corpus}. All
@@ -38,14 +42,15 @@
     exception propagates, so an attached {!Telemetry.jsonl_file} trace is
     flushed and stays parseable up to the point of failure. *)
 
-type strategy = {
-  retention : bool;
-  selection : bool;
-  directed_mutation : bool;
-}
+type strategy = Feedback.t
+(** The feedback policy driving a campaign. Build one from the registry
+    ({!Feedback.create}), a preset, or {!Feedback.of_flags}. *)
 
 val full_strategy : strategy
+(** Alias of {!Feedback.sonar} — the paper's full policy. *)
+
 val random_strategy : strategy
+(** Alias of {!Feedback.random} — the blind random-testing baseline. *)
 
 type series_point = {
   iteration : int;

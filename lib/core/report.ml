@@ -5,6 +5,7 @@
 
 type t = {
   source : string;
+  strategy : string option;  (* from the campaign_start trace header *)
   events : int;
   skipped : int;
   testcases : int;
@@ -27,6 +28,7 @@ type t = {
 let of_events ?(source = "<events>") ?(skipped = 0) events =
   let obs_sink, obs_snapshot = Telemetry.observatory () in
   let n = ref 0 in
+  let strategy = ref None in
   let testcases = ref 0 in
   let generations = ref 0 in
   let iterations_done = ref 0 in
@@ -45,6 +47,7 @@ let of_events ?(source = "<events>") ?(skipped = 0) events =
       incr n;
       obs_sink.Telemetry.emit ev;
       match ev with
+      | Telemetry.Campaign_start e -> strategy := Some e.strategy
       | Telemetry.Generation_start _ -> ()
       | Telemetry.Testcase_executed _ -> incr testcases
       | Telemetry.Contention_triggered e ->
@@ -80,6 +83,7 @@ let of_events ?(source = "<events>") ?(skipped = 0) events =
     events;
   {
     source;
+    strategy = !strategy;
     events = !n;
     skipped;
     testcases = !testcases;
@@ -179,8 +183,11 @@ let fmt_s = Printf.sprintf "%.3fs"
 
 let summary_section r =
   let rows =
-    [
-      [ "trace"; r.source ];
+    [ [ "trace"; r.source ] ]
+    @ (match r.strategy with
+      | Some s -> [ [ "strategy"; s ] ]
+      | None -> [])
+    @ [
       [ "events"; string_of_int r.events ];
       [ "skipped lines"; string_of_int r.skipped ];
       [ "testcases"; string_of_int r.testcases ];
@@ -445,6 +452,10 @@ let to_json r : Json.t =
         Json.Obj
           [
             ("source", Json.String r.source);
+            ( "strategy",
+              match r.strategy with
+              | Some s -> Json.String s
+              | None -> Json.Null );
             ("events", Json.Int r.events);
             ("skipped", Json.Int r.skipped);
             ("testcases", Json.Int r.testcases);

@@ -14,6 +14,13 @@ let phase_of_name = function
   | _ -> None
 
 type event =
+  | Campaign_start of {
+      strategy : string;
+      seed : int64;
+      iterations : int;
+      batch : int;
+      dual : bool;
+    }
   | Generation_start of { generation : int; first_iteration : int; size : int }
   | Testcase_executed of { testcase_id : int; cycles0 : int; cycles1 : int }
   | Contention_triggered of { iteration : int; added : float; coverage : float }
@@ -82,6 +89,15 @@ let emit_all sinks ev = List.iter (fun s -> s.emit ev) sinks
 let json_of_event ev : Json.t =
   let obj name fields = Json.Obj (("event", Json.String name) :: fields) in
   match ev with
+  | Campaign_start e ->
+      obj "campaign_start"
+        [
+          ("strategy", Json.String e.strategy);
+          ("seed", Json.Int (Int64.to_int e.seed));
+          ("iterations", Json.Int e.iterations);
+          ("batch", Json.Int e.batch);
+          ("dual", Json.Bool e.dual);
+        ]
   | Generation_start e ->
       obj "generation_start"
         [
@@ -199,6 +215,21 @@ let event_of_json doc =
     let f k = to_float (member k doc) in
     let s k = to_str (member k doc) in
     match to_str (member "event" doc) with
+    | "campaign_start" ->
+        let dual =
+          match member "dual" doc with
+          | Bool b -> b
+          | _ -> raise (Parse_error "dual must be a bool")
+        in
+        Some
+          (Campaign_start
+             {
+               strategy = s "strategy";
+               seed = Int64.of_int (i "seed");
+               iterations = i "iterations";
+               batch = i "batch";
+               dual;
+             })
     | "generation_start" ->
         Some
           (Generation_start
@@ -428,7 +459,7 @@ let aggregator () =
   let emit ev =
     incr events;
     match ev with
-    | Generation_start _ -> ()
+    | Campaign_start _ | Generation_start _ -> ()
     | Testcase_executed _ -> incr testcases
     | Contention_triggered e ->
         incr contention_testcases;

@@ -26,6 +26,17 @@ val phase_name : phase -> string
 (** "generate" / "execute" / "feedback". *)
 
 type event =
+  | Campaign_start of {
+      strategy : string;  (** {!Feedback.t.name} driving the campaign *)
+      seed : int64;
+      iterations : int;
+      batch : int;
+      dual : bool;
+    }
+      (** Trace header: the campaign's outcome-determining inputs, emitted
+          once before the first generation. Deliberately excludes
+          jobs/chunk/checkpoint — those are wall-clock knobs, and traces
+          must stay byte-identical across them. *)
   | Generation_start of { generation : int; first_iteration : int; size : int }
       (** A generation of [size] candidates begins. *)
   | Testcase_executed of { testcase_id : int; cycles0 : int; cycles1 : int }

@@ -300,16 +300,20 @@ let test_fuzzer_jobs_bit_identical () =
   checkb "bit-identical outcome for jobs=1 vs jobs=4" true
     (sequential = parallel)
 
-let test_fuzzer_jobs_chunk_matrix () =
+let test_fuzzer_jobs_chunk_matrix strategy_name () =
   (* jobs and chunk are both wall-clock-only knobs: the outcome — series,
      coverage, reports — is a pure function of (seed, strategy, iterations,
-     batch) for every combination. batch=8 keeps the campaign
-     multi-generation so feedback boundaries are exercised. *)
+     batch) for every combination, and for {e every} registered strategy
+     (stateful learners included — their hooks run on the campaign's
+     domain in candidate order). batch=8 keeps the campaign
+     multi-generation so feedback boundaries are exercised. A fresh
+     instance per campaign, as the {!Feedback.create} contract requires. *)
   let batch = 8 in
   let run jobs chunk =
+    let strategy = Option.get (Feedback.create strategy_name) in
     Fuzzer.run
       ~options:{ Fuzzer.Options.default with seed = 17L; jobs; batch; chunk }
-      Sonar_uarch.Config.nutshell Fuzzer.full_strategy ~iterations:18
+      Sonar_uarch.Config.nutshell strategy ~iterations:18
   in
   let reference = run 1 None in
   List.iter
@@ -317,12 +321,134 @@ let test_fuzzer_jobs_chunk_matrix () =
       List.iter
         (fun chunk ->
           checkb
-            (Printf.sprintf "bit-identical outcome (jobs=%d chunk=%s)" jobs
+            (Printf.sprintf "bit-identical outcome (%s, jobs=%d chunk=%s)"
+               strategy_name jobs
                (match chunk with Some c -> string_of_int c | None -> "auto"))
             true
             (run jobs chunk = reference))
         [ None; Some 1; Some 4; Some batch ])
     [ 1; 2; 3 ]
+
+let test_fuzzer_strategy_traces_identical () =
+  (* The default-class JSONL trace (everything but the wall-clock events)
+     is part of the determinism contract: byte-identical across worker
+     counts, for every strategy, with the campaign_start header naming the
+     strategy as its first line. *)
+  let trace strategy_name jobs =
+    let buf = Buffer.create 4096 in
+    let sink =
+      Telemetry.jsonl (fun line ->
+          Buffer.add_string buf line;
+          Buffer.add_char buf '\n')
+    in
+    let strategy = Option.get (Feedback.create strategy_name) in
+    ignore
+      (Fuzzer.run
+         ~options:
+           {
+             Fuzzer.Options.default with
+             seed = 17L;
+             jobs;
+             batch = 6;
+             sinks = [ sink ];
+           }
+         Sonar_uarch.Config.nutshell strategy ~iterations:12);
+    Buffer.contents buf
+  in
+  List.iter
+    (fun name ->
+      let t1 = trace name 1 and t3 = trace name 3 in
+      checkb (name ^ " trace byte-identical jobs=1 vs jobs=3") true
+        (String.equal t1 t3);
+      let header = List.hd (String.split_on_char '\n' t1) in
+      let contains s sub =
+        let n = String.length sub in
+        let rec go i = i + n <= String.length s
+          && (String.sub s i n = sub || go (i + 1)) in
+        go 0
+      in
+      checkb (name ^ " first trace line is campaign_start") true
+        (contains header "\"event\":\"campaign_start\"");
+      checkb (name ^ " header names the strategy") true
+        (contains header ("\"strategy\":\"" ^ name ^ "\"")))
+    Feedback.names
+
+let test_feedback_registry () =
+  checki "five shipped strategies" 5 (List.length Feedback.names);
+  List.iter
+    (fun name ->
+      checkb (name ^ " resolvable") true (Feedback.create name <> None);
+      checkb
+        (name ^ " described")
+        true
+        (match List.assoc_opt name Feedback.all with
+        | Some d -> String.length d > 0
+        | None -> false))
+    Feedback.names;
+  checkb "unknown name rejected" true (Feedback.create "bogus" = None);
+  checkb "sonar preset keeps the historical mutate ratio" true
+    (Fuzzer.full_strategy.Feedback.mutate_ratio = 0.8);
+  (* Stateful strategies must come out fresh per call: two instances may
+     not share learner state (physical inequality of the closures is the
+     observable proxy). *)
+  checkb "bandit instances independent" true
+    (Option.get (Feedback.create "bandit") !=
+       Option.get (Feedback.create "bandit"))
+
+(* Executed-candidate fixture shared by the order-insensitivity property:
+   one real dual-run with non-empty intervals and triggered points. *)
+let consider_fixture =
+  lazy
+    (let rng = Rng.create 99L in
+     let tc = Testcase.random rng ~id:1 ~dual:false in
+     let pair = Executor.execute Sonar_uarch.Config.nutshell tc in
+     (tc, pair))
+
+let prop_consider_order_insensitive =
+  QCheck2.Test.make
+    ~name:"consider is insensitive to observation-list ordering" ~count:30
+    QCheck2.Gen.(int_bound 1_000_000)
+    (fun salt ->
+      let tc, pair = Lazy.force consider_fixture in
+      let intervals = Executor.min_intervals pair in
+      let triggered = Executor.triggered pair in
+      let report = Detector.detect pair in
+      List.for_all
+        (fun name ->
+          (* Fresh strategy + campaign per verdict so stateful learners
+             start identical; only the list order differs. *)
+          let verdict intervals triggered =
+            let strategy = Option.get (Feedback.create name) in
+            let campaign =
+              {
+                Feedback.corpus = Corpus.create ();
+                mstate = Mutation.create_state ();
+                emit = None;
+                mutate_ratio = strategy.Feedback.mutate_ratio;
+              }
+            in
+            let obs =
+              {
+                Feedback.iteration = 0;
+                testcase = tc;
+                pair;
+                intervals;
+                triggered;
+                coverage_added = 0.;
+                coverage_total = 0.;
+                component_delta = [];
+                report;
+                target = None;
+                op = Some Feedback.Composite;
+              }
+            in
+            strategy.Feedback.reward campaign obs;
+            strategy.Feedback.consider campaign tc obs
+          in
+          let shuffle l = Rng.shuffle (Rng.create (Int64.of_int salt)) l in
+          verdict intervals triggered
+          = verdict (shuffle intervals) (shuffle triggered))
+        Feedback.names)
 
 let test_auto_chunk () =
   (* ~2 slices per worker, never below 1, and the slices always cover the
@@ -574,8 +700,22 @@ let () =
           Alcotest.test_case "scratch context allocates less" `Quick
             test_executor_scratch_allocates_less;
           Alcotest.test_case "jobs bit-identical" `Quick test_fuzzer_jobs_bit_identical;
-          Alcotest.test_case "jobs x chunk bit-identical" `Quick
-            test_fuzzer_jobs_chunk_matrix;
+        ]
+        @ List.map
+            (fun name ->
+              Alcotest.test_case
+                ("jobs x chunk bit-identical: " ^ name)
+                `Quick
+                (test_fuzzer_jobs_chunk_matrix name))
+            Feedback.names
+        @ [
+            Alcotest.test_case "traces byte-identical across jobs" `Quick
+              test_fuzzer_strategy_traces_identical;
+          ] );
+      ( "feedback",
+        [
+          Alcotest.test_case "registry" `Quick test_feedback_registry;
+          QCheck_alcotest.to_alcotest prop_consider_order_insensitive;
         ] );
       ( "mutation",
         [

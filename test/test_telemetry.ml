@@ -208,6 +208,14 @@ let qcheck_json_truncation =
 
 let sample_events =
   [
+    Telemetry.Campaign_start
+      {
+        strategy = "timing-coverage";
+        seed = 23L;
+        iterations = 400;
+        batch = 64;
+        dual = true;
+      };
     Telemetry.Generation_start { generation = 1; first_iteration = 1; size = 8 };
     Telemetry.Testcase_executed { testcase_id = 3; cycles0 = 220; cycles1 = 224 };
     Telemetry.Contention_triggered { iteration = 3; added = 12.5; coverage = 40.25 };
