@@ -520,6 +520,13 @@ let speedup () =
     o1.Sonar.Fuzzer.cycles_simulated o_off.Sonar.Fuzzer.cycles_simulated
     (100. *. cycle_reduction)
     o1.checkpoint_hits iters;
+  let oversubscribed = host_cores < jobs_n in
+  if oversubscribed then
+    Printf.printf
+      "\n  *** WARNING: oversubscribed — %d jobs on %d host cores. ***\n\
+      \  *** Workers time-share cores; speedup numbers understate what ***\n\
+      \  *** the parallel driver achieves on an unloaded machine.      ***\n"
+      jobs_n host_cores;
   let doc =
     Sonar.Json.Obj
       [
@@ -529,6 +536,7 @@ let speedup () =
         ("chunk", Sonar.Json.String "auto");
         ("jobs", Sonar.Json.Int jobs_n);
         ("host_cores", Sonar.Json.Int host_cores);
+        ("oversubscribed", Sonar.Json.Bool oversubscribed);
         ("seconds_jobs1", Sonar.Json.Float t1);
         ("seconds_jobsN", Sonar.Json.Float tn);
         ("speedup", Sonar.Json.Float headline);
@@ -771,6 +779,8 @@ let engine_bench () =
         ("compiled step (plain)", Sonar_rtlsim.Engine.Compiled, plain);
         ("interpreted step (instrumented)", Sonar_rtlsim.Engine.Tree, instr);
         ("compiled step (instrumented)", Sonar_rtlsim.Engine.Compiled, instr);
+        ("bit-sliced step (instrumented, 63 lanes)",
+         Sonar_rtlsim.Engine.Bitsliced, instr);
       ]
   in
   run_bechamel (Test.make_grouped ~name:"engine" tests);
@@ -788,8 +798,10 @@ let engine_bench () =
   Printf.printf "\nminor-heap words / 1000 cycles (instrumented netlist):\n";
   Printf.printf "  interpreted %12.0f\n"
     (alloc_per_kcycle Sonar_rtlsim.Engine.Tree);
-  Printf.printf "  compiled    %12.0f\n%!"
+  Printf.printf "  compiled    %12.0f\n"
     (alloc_per_kcycle Sonar_rtlsim.Engine.Compiled);
+  Printf.printf "  bit-sliced  %12.0f (63 lanes per step)\n%!"
+    (alloc_per_kcycle Sonar_rtlsim.Engine.Bitsliced);
   (* Differential: every module of both instrumented DUT netlists, stepped
      under a deterministic input stimulus on both backends, must expose
      bit-identical signal values every cycle. *)
@@ -838,7 +850,128 @@ let engine_bench () =
       !modules cycles
   else
     Printf.printf "\nengine differential: MISMATCH (%d signal deviations)\n"
-      !mismatches
+      !mismatches;
+  (* Bit-sliced batch throughput: one 63-lane bit-sliced simulation vs 63
+     sequential compiled runs of the same instrumented module, each lane
+     driven by its own deterministic LCG stimulus. Lane identity is checked
+     exhaustively (every signal, every lane, every cycle) on a short
+     prefix; the timed runs then measure raw stepping throughput. *)
+  let lanes = Sonar_rtlsim.Engine.max_lanes in
+  let m = first instr in
+  let bs_inputs = List.map fst (Sonar_ir.Fmodule.inputs m) in
+  let lcg s = ((s * 1103515245) + 12345) land 0x3FFFFFFF in
+  let seed_of lane = (0xB05 + (31 * lane)) lor 1 in
+  let verify_cycles = if smoke then 40 else 200 in
+  let lanes_identical =
+    let bs = engine_of Sonar_rtlsim.Engine.Bitsliced instr in
+    let refs =
+      Array.init lanes (fun _ -> engine_of Sonar_rtlsim.Engine.Compiled instr)
+    in
+    let states = Array.init lanes seed_of in
+    let buf = Array.make lanes 0 in
+    let names = Sonar_rtlsim.Engine.signal_names bs in
+    let ok = ref true in
+    for _ = 1 to verify_cycles do
+      List.iter
+        (fun n ->
+          for l = 0 to lanes - 1 do
+            states.(l) <- lcg states.(l);
+            buf.(l) <- states.(l);
+            Sonar_rtlsim.Engine.poke_int refs.(l) n states.(l)
+          done;
+          Sonar_rtlsim.Engine.poke_lanes bs n buf)
+        bs_inputs;
+      Sonar_rtlsim.Engine.step bs;
+      Array.iter Sonar_rtlsim.Engine.step refs;
+      List.iter
+        (fun n ->
+          let sb = Sonar_rtlsim.Engine.slot bs n in
+          for l = 0 to lanes - 1 do
+            let sr = Sonar_rtlsim.Engine.slot refs.(l) n in
+            if
+              Sonar_rtlsim.Engine.read_slot_lane bs sb ~lane:l
+              <> Sonar_rtlsim.Engine.read_slot refs.(l) sr
+            then ok := false
+          done)
+        names
+    done;
+    !ok
+  in
+  (* Engines are compiled outside the timed regions and [reset] between
+     runs, matching a fuzzing campaign (compile once, simulate many). *)
+  let timed_cycles = if smoke then 1_500 else 20_000 in
+  let bs_timed = engine_of Sonar_rtlsim.Engine.Bitsliced instr in
+  let seq_timed = engine_of Sonar_rtlsim.Engine.Compiled instr in
+  let (), t_batch =
+    time_it (fun () ->
+        let bs = bs_timed in
+        Sonar_rtlsim.Engine.reset bs;
+        let states = Array.init lanes seed_of in
+        let buf = Array.make lanes 0 in
+        for _ = 1 to timed_cycles do
+          List.iter
+            (fun n ->
+              for l = 0 to lanes - 1 do
+                states.(l) <- lcg states.(l);
+                buf.(l) <- states.(l)
+              done;
+              Sonar_rtlsim.Engine.poke_lanes bs n buf)
+            bs_inputs;
+          Sonar_rtlsim.Engine.step bs
+        done)
+  in
+  let (), t_seq =
+    time_it (fun () ->
+        let e = seq_timed in
+        for l = 0 to lanes - 1 do
+          Sonar_rtlsim.Engine.reset e;
+          let state = ref (seed_of l) in
+          for _ = 1 to timed_cycles do
+            List.iter
+              (fun n ->
+                state := lcg !state;
+                Sonar_rtlsim.Engine.poke_int e n !state)
+              bs_inputs;
+            Sonar_rtlsim.Engine.step e
+          done
+        done)
+  in
+  let lane_cycles = float_of_int (lanes * timed_cycles) in
+  let cps_seq = lane_cycles /. t_seq in
+  let cps_batch = lane_cycles /. t_batch in
+  let batch_speedup = t_seq /. t_batch in
+  Printf.printf
+    "\nbit-sliced batch (%d lanes x %d cycles, instrumented %s):\n" lanes
+    timed_cycles m.Sonar_ir.Fmodule.name;
+  Printf.printf "  lane identity vs compiled: %s\n"
+    (if lanes_identical then
+       Printf.sprintf "ok (%d cycles, every signal, every lane)" verify_cycles
+     else "MISMATCH");
+  Printf.printf "  sequential  %12.0f lane-cycles/s  (%.3f s)\n" cps_seq t_seq;
+  Printf.printf "  bit-sliced  %12.0f lane-cycles/s  (%.3f s)\n" cps_batch
+    t_batch;
+  Printf.printf "  batch speedup: %.2fx\n" batch_speedup;
+  let doc =
+    Sonar.Json.Obj
+      [
+        ("dut", Sonar.Json.String "boom");
+        ("module", Sonar.Json.String m.Sonar_ir.Fmodule.name);
+        ("lanes", Sonar.Json.Int lanes);
+        ("cycles", Sonar.Json.Int timed_cycles);
+        ("verify_cycles", Sonar.Json.Int verify_cycles);
+        ("lanes_identical", Sonar.Json.Bool lanes_identical);
+        ("seconds_sequential", Sonar.Json.Float t_seq);
+        ("seconds_bitsliced", Sonar.Json.Float t_batch);
+        ("lane_cycles_per_sec_sequential", Sonar.Json.Float cps_seq);
+        ("lane_cycles_per_sec_bitsliced", Sonar.Json.Float cps_batch);
+        ("batch_speedup", Sonar.Json.Float batch_speedup);
+      ]
+  in
+  let oc = open_out "BENCH_engine.json" in
+  output_string oc (Sonar.Json.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "  wrote BENCH_engine.json\n"
 
 (* ------------------------------------------------------------------ *)
 

@@ -383,6 +383,24 @@ let transient_continuation program s window start_seq =
    with Exit -> ());
   Array.of_list (List.rev !effs)
 
+(* Architectural access faults — the only trigger for transient forking —
+   occur exactly when a user-mode load/store/lr targets the protected
+   range ([exec_one]'s own condition, evaluated on the same pre-state).
+   Predicting the fault up front lets [run] skip the pre-execution
+   snapshot on the non-faulting path: cloning is a register-file copy plus
+   a memory [Hashtbl.copy] per instruction, and was the dominant per-run
+   allocation of the whole fuzz execute phase. *)
+let will_access_fault program s index =
+  s.priv = Program.User
+  &&
+  match program.Program.instrs.(index) with
+  | Instr.Load (_, _, base, off) ->
+      protected program (Int64.add (get s base) (Int64.of_int off))
+  | Instr.Store (_, _, base, off) ->
+      protected program (Int64.add (get s base) (Int64.of_int off))
+  | Instr.Lr_d (_, base) -> protected program (get s base)
+  | _ -> false
+
 let run ?(max_instrs = default_max_instrs)
     ?(transient_window = default_transient_window) program =
   let s = initial_state program in
@@ -395,20 +413,27 @@ let run ?(max_instrs = default_max_instrs)
        match Program.pc_to_index program s.pc with
        | None -> raise Exit
        | Some index ->
-           (* Snapshot the pre-execution state for transient forking. *)
-           let pre = clone s in
+           (* Snapshot the pre-execution state for transient forking, only
+              when this instruction will actually fault. *)
+           let pre =
+             if will_access_fault program s index then Some (clone s) else None
+           in
            let eff =
              exec_one program s ~seq:!seq ~index ~transient:false
                ~forward_faults:false
            in
            trace := eff :: !trace;
-           (match eff.fault with
-           | Some (Load_access_fault | Store_access_fault) ->
+           (match (eff.fault, pre) with
+           | Some (Load_access_fault | Store_access_fault), Some pre ->
                let cont =
                  transient_continuation program pre transient_window (!seq + 1)
                in
                transients := (!seq, cont) :: !transients
-           | Some _ | None -> ());
+           | Some (Load_access_fault | Store_access_fault), None ->
+               (* [will_access_fault] mirrors [exec_one]'s fault condition
+                  exactly; a fault without a snapshot is a bug. *)
+               assert false
+           | (Some _ | None), _ -> ());
            incr seq;
            if eff.instr = Instr.Ebreak then begin
              exit_reason := Ebreak_halt;

@@ -178,24 +178,60 @@ let test_engine_cat () =
       Engine.poke_int e "b" 0xB;
       Engine.settle e;
       checki "cat(a, b)" 0xAB (Engine.peek_int e "o"))
-    [ Engine.Tree; Engine.Compiled ]
+    [ Engine.Tree; Engine.Compiled; Engine.Bitsliced ]
 
-(* Acceptance gate: a compiled [step] performs no per-cycle heap allocation
-   attributable to value traffic. The slack below covers the constant-size
-   boxes of the [Gc.minor_words] calls themselves; any per-cycle allocation
-   would show up as >= 1 word x 1000 cycles. *)
+(* Width errors surface at [compile] on every backend (the Tree backend
+   used to raise lazily, on first evaluation). *)
+let test_cat_overflow_compile_time () =
+  let open Sonar_ir in
+  let m =
+    Fmodule.make "Wide"
+      [
+        Stmt.Input { name = "a"; width = 32 };
+        Stmt.Input { name = "b"; width = 32 };
+        Stmt.Node
+          {
+            name = "j";
+            expr = Expr.prim Expr.Cat [ Expr.reference "a"; Expr.reference "b" ];
+          };
+        Stmt.Output { name = "o"; width = 63 };
+        Stmt.Connect { dst = "o"; src = Expr.reference "j" };
+      ]
+  in
+  List.iter
+    (fun (name, backend) ->
+      checkb
+        (Printf.sprintf "64-bit cat fails at compile on %s" name)
+        true
+        (match Engine.compile ~backend m with
+        | exception Bitvec.Width_error _ -> true
+        | _ -> false))
+    [
+      ("tree", Engine.Tree);
+      ("compiled", Engine.Compiled);
+      ("bitsliced", Engine.Bitsliced);
+    ]
+
+(* Acceptance gate: a compiled or bit-sliced [step] performs no per-cycle
+   heap allocation attributable to value traffic. The slack below covers
+   the constant-size boxes of the [Gc.minor_words] calls themselves; any
+   per-cycle allocation would show up as >= 1 word x 1000 cycles. *)
 let test_step_no_alloc () =
-  let e = Engine.compile counter_module in
-  Engine.poke_int e "en" 1;
-  Engine.step e;
-  let w0 = Gc.minor_words () in
-  for _ = 1 to 1000 do
-    Engine.step e
-  done;
-  let words = Gc.minor_words () -. w0 in
-  checkb
-    (Printf.sprintf "allocation-free step (%.0f minor words / 1000 cycles)" words)
-    true (words < 64.)
+  List.iter
+    (fun (name, backend) ->
+      let e = Engine.compile ~backend counter_module in
+      Engine.poke_int e "en" 1;
+      Engine.step e;
+      let w0 = Gc.minor_words () in
+      for _ = 1 to 1000 do
+        Engine.step e
+      done;
+      let words = Gc.minor_words () -. w0 in
+      checkb
+        (Printf.sprintf "allocation-free %s step (%.0f minor words / 1000 cycles)"
+           name words)
+        true (words < 64.))
+    [ ("compiled", Engine.Compiled); ("bitsliced", Engine.Bitsliced) ]
 
 (* Differential property: the engine's evaluation of a fixed expression
    over random inputs matches a direct OCaml interpretation. *)
@@ -358,6 +394,72 @@ let prop_compiled_matches_interpreted =
     QCheck2.Gen.(triple gen_netlist (int_range 1 15) (int_bound 0x3FFFFF))
     (fun (m, cycles, seed) -> engines_agree m ~cycles ~seed)
 
+(* --- Bit-sliced lane differential --- *)
+
+(* Drive [active_lanes] lanes of one bit-sliced engine with independent
+   pseudo-random input streams, and the same streams into [active_lanes]
+   sequential compiled engines; every lane of every signal must agree after
+   every cycle. Idle lanes (never poked) must behave as a compiled run under
+   all-zero stimulus. *)
+let lanes_agree ?(active_lanes = Engine.max_lanes) m ~cycles ~seed =
+  let bs = Engine.compile ~backend:Engine.Bitsliced m in
+  let refs =
+    Array.init active_lanes (fun _ ->
+        Engine.compile ~backend:Engine.Compiled m)
+  in
+  let idle_ref = Engine.compile ~backend:Engine.Compiled m in
+  let inputs = Sonar_ir.Fmodule.inputs m in
+  let names = Engine.signal_names bs in
+  let states =
+    Array.init active_lanes (fun l -> ref (((seed + (31 * l)) lor 1) land max_int))
+  in
+  let next l =
+    let s = states.(l) in
+    s := ((!s * 1103515245) + 12345) land 0x3FFFFFFF;
+    !s
+  in
+  let agree () =
+    List.for_all
+      (fun n ->
+        let sb = Engine.slot bs n in
+        let active_ok = ref true in
+        for l = 0 to active_lanes - 1 do
+          let expect = Engine.read_slot refs.(l) (Engine.slot refs.(l) n) in
+          if Engine.read_slot_lane bs sb ~lane:l <> expect then
+            active_ok := false
+        done;
+        let idle_expect = Engine.read_slot idle_ref (Engine.slot idle_ref n) in
+        for l = active_lanes to Engine.max_lanes - 1 do
+          if Engine.read_slot_lane bs sb ~lane:l <> idle_expect then
+            active_ok := false
+        done;
+        !active_ok)
+      names
+  in
+  let ok = ref (agree ()) in
+  for _ = 1 to cycles do
+    List.iter
+      (fun (n, _) ->
+        for l = 0 to active_lanes - 1 do
+          let v = next l in
+          Engine.poke_lane bs n ~lane:l v;
+          Engine.poke_int refs.(l) n v
+        done)
+      inputs;
+    Engine.step bs;
+    Array.iter Engine.step refs;
+    Engine.step idle_ref;
+    ok := !ok && agree ()
+  done;
+  !ok
+
+let prop_bitsliced_matches_compiled =
+  QCheck2.Test.make
+    ~name:"bit-sliced lanes = 63 sequential compiled runs (random netlists)"
+    ~count:60
+    QCheck2.Gen.(triple gen_netlist (int_range 1 8) (int_bound 0x3FFFFF))
+    (fun (m, cycles, seed) -> lanes_agree m ~cycles ~seed)
+
 (* The same differential over the generated (and instrumented) boom and
    nutshell netlists — every module, every signal, every cycle. *)
 let test_generated_netlist_differential () =
@@ -374,6 +476,207 @@ let test_generated_netlist_differential () =
             (engines_agree m ~cycles:12 ~seed:(Hashtbl.hash m.Sonar_ir.Fmodule.name)))
         r.Sonar_ir.Instrument.circuit.Sonar_ir.Circuit.modules)
     [ Sonar_uarch.Config.boom; Sonar_uarch.Config.nutshell ]
+
+(* Every lane of a 63-lane bit-sliced run over the instrumented DUT
+   netlists, against 63 sequential compiled runs. *)
+let test_bitsliced_dut_differential () =
+  List.iter
+    (fun cfg ->
+      let circuit = Sonar_dut.Netlist_gen.generate ~scale:0.02 ~pad:false cfg in
+      let r = Sonar_ir.Instrument.instrument circuit in
+      List.iter
+        (fun m ->
+          checkb
+            (Printf.sprintf "%s/%s bit-sliced lanes = compiled"
+               cfg.Sonar_uarch.Config.name m.Sonar_ir.Fmodule.name)
+            true
+            (lanes_agree m ~cycles:6 ~seed:(Hashtbl.hash m.Sonar_ir.Fmodule.name)))
+        r.Sonar_ir.Instrument.circuit.Sonar_ir.Circuit.modules)
+    [ Sonar_uarch.Config.boom; Sonar_uarch.Config.nutshell ]
+
+(* Partial batches: 1, 2 and 62 active lanes — idle lanes must stay on the
+   all-zero-stimulus trajectory and active lanes must still be exact. *)
+let test_bitsliced_partial_batches () =
+  let m =
+    Sonar_ir.Parser.parse_module
+      {|
+module P [other] :
+  input a : UInt<8>
+  input b : UInt<8>
+  output o : UInt<8>
+  reg acc : UInt<8> reset 3
+  node t = mux(gt(a, b), sub(a, b), add(acc, xor(a, b)))
+  connect acc = t
+  connect o = acc
+|}
+  in
+  List.iter
+    (fun active_lanes ->
+      checkb
+        (Printf.sprintf "%d active lanes" active_lanes)
+        true
+        (lanes_agree ~active_lanes m ~cycles:10 ~seed:(active_lanes * 7919)))
+    [ 1; 2; 62 ]
+
+(* Width-63 signals with the top bit set: [read_slot] / [read_slot_lane]
+   return the raw 63-bit pattern (negative when bit 62 is set) on every
+   backend; [read_slot64] recovers the unsigned value. *)
+let test_bitsliced_width63_top_bit () =
+  let open Sonar_ir in
+  let m =
+    Fmodule.make "W63"
+      [
+        Stmt.Input { name = "a"; width = 63 };
+        Stmt.Node
+          {
+            name = "inc";
+            expr =
+              Expr.prim Expr.Add
+                [ Expr.reference "a"; Expr.lit ~width:63 1L ];
+          };
+        Stmt.Output { name = "o"; width = 63 };
+        Stmt.Connect { dst = "o"; src = Expr.reference "inc" };
+      ]
+  in
+  let top = 1 lsl 62 in
+  List.iter
+    (fun backend ->
+      let e = Engine.compile ~backend m in
+      Engine.poke_int e "a" (top lor 5);
+      Engine.settle e;
+      let s = Engine.slot e "o" in
+      checkb "raw pattern is negative" true (Engine.read_slot e s < 0);
+      checki "raw pattern" (top lor 6) (Engine.read_slot e s);
+      check64 "unsigned via read_slot64" 0x4000_0000_0000_0006L
+        (Engine.read_slot64 e s))
+    [ Engine.Tree; Engine.Compiled; Engine.Bitsliced ];
+  (* Per-lane: distinct top-bit patterns in distinct lanes. *)
+  let e = Engine.compile ~backend:Engine.Bitsliced m in
+  Engine.poke_lane e "a" ~lane:7 (top lor 1);
+  Engine.poke_lane e "a" ~lane:8 2;
+  Engine.settle e;
+  let s = Engine.slot e "o" in
+  checki "lane 7 wraps through the top bit" (top lor 2)
+    (Engine.read_slot_lane e s ~lane:7);
+  checki "lane 8 stays small" 3 (Engine.read_slot_lane e s ~lane:8);
+  checki "idle lane" 1 (Engine.read_slot_lane e s ~lane:0)
+
+(* Shifts at and beyond the operand width, on all backends. *)
+let test_bitsliced_shift_ge_width () =
+  let open Sonar_ir in
+  let m =
+    Fmodule.make "Shifts"
+      [
+        Stmt.Input { name = "a"; width = 4 };
+        Stmt.Node
+          { name = "l"; expr = Expr.prim (Expr.Shl 60) [ Expr.reference "a" ] };
+        Stmt.Node
+          { name = "r"; expr = Expr.prim (Expr.Shr 4) [ Expr.reference "a" ] };
+        Stmt.Node
+          { name = "r2"; expr = Expr.prim (Expr.Shr 63) [ Expr.reference "a" ] };
+        Stmt.Output { name = "o"; width = 63 };
+        Stmt.Connect
+          {
+            dst = "o";
+            src =
+              Expr.prim Expr.Or
+                [
+                  Expr.reference "l";
+                  Expr.prim Expr.Or
+                    [ Expr.reference "r"; Expr.reference "r2" ];
+                ];
+          };
+      ]
+  in
+  List.iter
+    (fun backend ->
+      let e = Engine.compile ~backend m in
+      Engine.poke_int e "a" 0xF;
+      Engine.settle e;
+      (* shl 60 of a 4-bit value keeps only the bits below 63 — the native
+         63-bit shift drops the same top bit the engine masks away. *)
+      checki "shl into the top" (0xF lsl 60)
+        (Engine.read_slot e (Engine.slot e "l"));
+      checki "shr = width" 0 (Engine.read_slot e (Engine.slot e "r"));
+      checki "shr 63" 0 (Engine.read_slot e (Engine.slot e "r2")))
+    [ Engine.Tree; Engine.Compiled; Engine.Bitsliced ];
+  checkb "shift differential across lanes" true
+    (lanes_agree m ~cycles:8 ~seed:0xBEEF)
+
+(* Unsigned comparisons: values with the top bit of their width set must
+   compare as large, not negative, on every backend and every lane. *)
+let test_bitsliced_unsigned_compares () =
+  let open Sonar_ir in
+  let cmp name op =
+    Stmt.Node
+      { name; expr = Expr.prim op [ Expr.reference "a"; Expr.reference "b" ] }
+  in
+  let m =
+    Fmodule.make "Cmp"
+      [
+        Stmt.Input { name = "a"; width = 8 };
+        Stmt.Input { name = "b"; width = 8 };
+        cmp "lt" Expr.Lt;
+        cmp "leq" Expr.Leq;
+        cmp "gt" Expr.Gt;
+        cmp "geq" Expr.Geq;
+        cmp "eq" Expr.Eq;
+        cmp "neq" Expr.Neq;
+        Stmt.Output { name = "o"; width = 6 };
+        Stmt.Connect
+          {
+            dst = "o";
+            src =
+              List.fold_left
+                (fun acc n ->
+                  Expr.prim Expr.Cat [ acc; Expr.reference n ])
+                (Expr.reference "lt")
+                [ "leq"; "gt"; "geq"; "eq"; "neq" ];
+          };
+      ]
+  in
+  List.iter
+    (fun backend ->
+      let e = Engine.compile ~backend m in
+      let check_case a b =
+        Engine.poke_int e "a" a;
+        Engine.poke_int e "b" b;
+        Engine.settle e;
+        let get n = Engine.read_slot e (Engine.slot e n) in
+        checki (Printf.sprintf "lt %d %d" a b) (if a < b then 1 else 0) (get "lt");
+        checki (Printf.sprintf "leq %d %d" a b) (if a <= b then 1 else 0)
+          (get "leq");
+        checki (Printf.sprintf "gt %d %d" a b) (if a > b then 1 else 0) (get "gt");
+        checki (Printf.sprintf "geq %d %d" a b) (if a >= b then 1 else 0)
+          (get "geq");
+        checki (Printf.sprintf "eq %d %d" a b) (if a = b then 1 else 0) (get "eq");
+        checki (Printf.sprintf "neq %d %d" a b) (if a <> b then 1 else 0)
+          (get "neq")
+      in
+      (* 200 > 3 unsigned; equal values; both top-bit-set values. *)
+      check_case 200 3;
+      check_case 3 200;
+      check_case 200 200;
+      check_case 255 128;
+      check_case 0 255)
+    [ Engine.Tree; Engine.Compiled; Engine.Bitsliced ];
+  checkb "compare differential across lanes" true
+    (lanes_agree m ~cycles:8 ~seed:0xCAFE)
+
+(* Bulk transpose helpers round-trip: poke_lanes in, read_slot_lanes out. *)
+let test_bitsliced_transpose_roundtrip () =
+  let e = Engine.compile ~backend:Engine.Bitsliced cat_module in
+  let vals_a = Array.init Engine.max_lanes (fun l -> (l * 3) land 0xF) in
+  let vals_b = Array.init Engine.max_lanes (fun l -> (l + 9) land 0xF) in
+  Engine.poke_lanes e "a" vals_a;
+  Engine.poke_lanes e "b" vals_b;
+  Engine.settle e;
+  let o = Engine.read_slot_lanes e (Engine.slot e "o") in
+  checki "63 lanes out" Engine.max_lanes (Array.length o);
+  Array.iteri
+    (fun l v ->
+      checki (Printf.sprintf "lane %d" l) ((vals_a.(l) lsl 4) lor vals_b.(l)) v)
+    o
 
 (* --- Monitor --- *)
 
@@ -451,8 +754,62 @@ let test_monitor_stream_backends () =
       [ (1, 0); (0, 0); (0, 0); (0, 1); (1, 1); (0, 0); (1, 0); (0, 1) ];
     List.rev !stream
   in
-  checkb "identical reqsIntvl streams" true
-    (run Engine.Tree = run Engine.Compiled)
+  let compiled = run Engine.Compiled in
+  checkb "identical reqsIntvl streams (tree)" true (run Engine.Tree = compiled);
+  (* Scalar pokes broadcast on the bit-sliced backend and the scalar monitor
+     reads lane 0, so the stream must be identical there too. *)
+  checkb "identical reqsIntvl streams (bitsliced)" true
+    (run Engine.Bitsliced = compiled)
+
+(* Batch sampling differential: every lane of a [Monitor.Batch] over a
+   bit-sliced engine must report exactly the per-point state a scalar
+   [Monitor] reports for a compiled run of that lane's stimulus — window
+   gating included. *)
+let test_monitor_batch_lanes () =
+  let m = Sonar_dut.Netlist_gen.example_module () in
+  let r = Sonar_ir.Instrument.instrument (Sonar_ir.Circuit.make "c" [ m ]) in
+  let m' = List.hd r.Sonar_ir.Instrument.circuit.Sonar_ir.Circuit.modules in
+  let cycles = 24 in
+  (* Lane-dependent stimulus with distinct phases per source. *)
+  let ld_stim lane cycle = if (cycle + lane) mod 3 = 0 then 1 else 0 in
+  let st_stim lane cycle = if (cycle + (2 * lane)) mod 4 = 0 then 1 else 0 in
+  let snapshot states =
+    List.map
+      (fun (s : Monitor.point_state) ->
+        ( s.point_id,
+          s.min_pair_interval,
+          s.min_self_interval,
+          s.triggered,
+          s.request_hits ))
+      states
+  in
+  let bs = Engine.compile ~backend:Engine.Bitsliced m' in
+  let bmon = Monitor.Batch.create bs r.monitors in
+  checki "batch lanes" Engine.max_lanes (Monitor.Batch.lanes bmon);
+  Monitor.Batch.set_window bmon ~start:5 ~stop:18;
+  for cycle = 0 to cycles - 1 do
+    for lane = 0 to Engine.max_lanes - 1 do
+      Engine.poke_lane bs "io_ldq_idx_valid" ~lane (ld_stim lane cycle);
+      Engine.poke_lane bs "io_stq_idx_valid" ~lane (st_stim lane cycle)
+    done;
+    Engine.step bs;
+    Monitor.Batch.sample bmon
+  done;
+  for lane = 0 to Engine.max_lanes - 1 do
+    let e = Engine.compile ~backend:Engine.Compiled m' in
+    let mon = Monitor.create e r.monitors in
+    Monitor.set_window mon ~start:5 ~stop:18;
+    for cycle = 0 to cycles - 1 do
+      Engine.poke_int e "io_ldq_idx_valid" (ld_stim lane cycle);
+      Engine.poke_int e "io_stq_idx_valid" (st_stim lane cycle);
+      Engine.step e;
+      Monitor.sample mon
+    done;
+    checkb
+      (Printf.sprintf "lane %d batch = scalar monitor" lane)
+      true
+      (snapshot (Monitor.Batch.states bmon ~lane) = snapshot (Monitor.states mon))
+  done
 
 (* --- VCD --- *)
 
@@ -494,6 +851,8 @@ let () =
           Alcotest.test_case "unknown signals" `Quick test_engine_unknown_signal;
           Alcotest.test_case "tree backend" `Quick test_engine_tree_backend;
           Alcotest.test_case "cat" `Quick test_engine_cat;
+          Alcotest.test_case "cat overflow at compile" `Quick
+            test_cat_overflow_compile_time;
           Alcotest.test_case "allocation-free step" `Quick test_step_no_alloc;
         ]
         @ qcheck [ prop_engine_matches_interpreter ] );
@@ -505,6 +864,24 @@ let () =
             test_monitor_stream_backends;
         ]
         @ qcheck [ prop_compiled_matches_interpreted ] );
+      ( "bitsliced",
+        [
+          Alcotest.test_case "boom/nutshell lane differential" `Quick
+            test_bitsliced_dut_differential;
+          Alcotest.test_case "partial batches" `Quick
+            test_bitsliced_partial_batches;
+          Alcotest.test_case "width-63 top bit" `Quick
+            test_bitsliced_width63_top_bit;
+          Alcotest.test_case "shift >= width" `Quick
+            test_bitsliced_shift_ge_width;
+          Alcotest.test_case "unsigned compares" `Quick
+            test_bitsliced_unsigned_compares;
+          Alcotest.test_case "transpose round-trip" `Quick
+            test_bitsliced_transpose_roundtrip;
+          Alcotest.test_case "batch monitor lanes" `Quick
+            test_monitor_batch_lanes;
+        ]
+        @ qcheck [ prop_bitsliced_matches_compiled ] );
       ( "levelize",
         [
           Alcotest.test_case "ordering" `Quick test_levelize_order;
