@@ -974,6 +974,123 @@ let engine_bench () =
   Printf.printf "  wrote BENCH_engine.json\n"
 
 (* ------------------------------------------------------------------ *)
+(* Observability: trace rotation overhead vs a plain single-file trace, *)
+(* merged-report byte-identity, and the /metrics render rate a scraper  *)
+(* would see (CI greps the identity verdict).                           *)
+
+let observability () =
+  section "observability"
+    "trace rotation overhead, merged-report identity, /metrics render rate";
+  let module T = Sonar.Telemetry in
+  let iterations = if smoke then 120 else 600 in
+  let campaign sinks =
+    ignore
+      (Sonar.Fuzzer.run
+         ~options:
+           { Sonar.Fuzzer.Options.default with seed = 23L; batch = 8; sinks }
+         Sonar_uarch.Config.nutshell Sonar.Fuzzer.full_strategy ~iterations)
+  in
+  let read_lines path =
+    let ic = open_in path in
+    let lines = ref [] in
+    (try
+       while true do
+         lines := input_line ic :: !lines
+       done
+     with End_of_file -> ());
+    close_in ic;
+    List.rev !lines
+  in
+  (* baseline: no trace at all, then one flat file, then rotation *)
+  let (), t_bare = time_it (fun () -> campaign []) in
+  let flat = Filename.temp_file "sonar_bench_obs" ".jsonl" in
+  let (), t_flat =
+    time_it (fun () ->
+        let s = T.jsonl_file flat in
+        campaign [ s ];
+        T.close s)
+  in
+  let base = Filename.temp_file "sonar_bench_rot" ".jsonl" in
+  Sys.remove base;
+  let (), t_rot =
+    time_it (fun () ->
+        let s = T.rotating_jsonl ~max_generations:5 base in
+        campaign [ s ];
+        T.close s)
+  in
+  let segments =
+    let rec go i acc =
+      let p = T.segment_path base i in
+      if Sys.file_exists p then go (i + 1) (p :: acc) else List.rev acc
+    in
+    go 0 []
+  in
+  let merged =
+    match Sonar.Report.load_many ~label:"campaign" segments with
+    | Ok r -> r
+    | Error msg -> failwith msg
+  in
+  let reference = Sonar.Report.of_lines ~source:"campaign" (read_lines flat) in
+  let merged_identical =
+    Sonar.Report.to_markdown reference = Sonar.Report.to_markdown merged
+    && Sonar.Json.to_string (Sonar.Report.to_json reference)
+       = Sonar.Json.to_string (Sonar.Report.to_json merged)
+  in
+  Printf.printf "campaign (%d iterations):\n" iterations;
+  Printf.printf "  no trace      %7.3f s\n" t_bare;
+  Printf.printf "  flat trace    %7.3f s  (+%.1f%%)\n" t_flat
+    (100. *. ((t_flat /. t_bare) -. 1.));
+  Printf.printf "  rotated trace %7.3f s  (+%.1f%%, %d segments)\n" t_rot
+    (100. *. ((t_rot /. t_bare) -. 1.))
+    (List.length segments);
+  Printf.printf "merged report identical to flat-trace report: %s\n"
+    (if merged_identical then "ok" else "MISMATCH");
+  (* scrape cost: replay the campaign into the live aggregator pair and
+     render /metrics the way the HTTP handler does *)
+  let agg_sink, agg_snap = T.aggregator () in
+  let obs_sink, obs_snap = T.observatory () in
+  List.iter
+    (fun line ->
+      match T.event_of_json (Sonar.Json.of_string line) with
+      | Some ev ->
+          agg_sink.T.emit ev;
+          obs_sink.T.emit ev
+      | None -> ())
+    (read_lines flat);
+  let m = agg_snap () and o = obs_snap () in
+  let renders = if smoke then 200 else 2000 in
+  let body = ref "" in
+  let (), t_render =
+    time_it (fun () ->
+        for _ = 1 to renders do
+          body := Sonar.Serve.prometheus m o
+        done)
+  in
+  let renders_per_sec = float_of_int renders /. t_render in
+  Printf.printf "/metrics render: %d bytes, %.0f renders/s\n"
+    (String.length !body) renders_per_sec;
+  let doc =
+    Sonar.Json.Obj
+      [
+        ("iterations", Sonar.Json.Int iterations);
+        ("seconds_no_trace", Sonar.Json.Float t_bare);
+        ("seconds_flat_trace", Sonar.Json.Float t_flat);
+        ("seconds_rotated_trace", Sonar.Json.Float t_rot);
+        ("segments", Sonar.Json.Int (List.length segments));
+        ("merged_identical", Sonar.Json.Bool merged_identical);
+        ("metrics_bytes", Sonar.Json.Int (String.length !body));
+        ("metrics_renders_per_sec", Sonar.Json.Float renders_per_sec);
+      ]
+  in
+  let oc = open_out "BENCH_observability.json" in
+  output_string oc (Sonar.Json.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote BENCH_observability.json\n";
+  Sys.remove flat;
+  List.iter Sys.remove segments
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -992,6 +1109,7 @@ let experiments =
     ("strategies", strategies);
     ("bechamel", bechamel);
     ("engine", engine_bench);
+    ("observability", observability);
   ]
 
 let () =

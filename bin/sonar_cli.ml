@@ -2,15 +2,18 @@
 
      sonar analyze  --dut boom            static identification & filtering
      sonar fuzz     --dut boom -n 500     guided fuzzing campaign
-     sonar report   trace.jsonl           offline report from a JSONL trace
+     sonar report   trace.jsonl ...       offline report from JSONL trace(s)
+     sonar serve    trace.jsonl           HTTP observability over a trace
      sonar channels [--id S5]             measure the Table 3 channels
      sonar attack   --id S11 -t 10        Meltdown-style PoC
 
    Machine-readable output: `--format json` (analyze/fuzz/channels) emits
    one stable JSON document on stdout; `sonar fuzz --trace FILE` streams
    the campaign's telemetry events as JSONL (schema: DESIGN.md §9), and
-   `sonar report` turns such a trace into a markdown/HTML document plus a
-   JSON sidecar. *)
+   `sonar report` turns one or more such traces (rotated segments or
+   per-shard files) into a markdown/HTML document plus a JSON sidecar.
+   Live campaigns expose /healthz, /snapshot and /metrics (Prometheus)
+   via `sonar fuzz --serve PORT`; `sonar serve` does the same offline. *)
 
 open Cmdliner
 module Json = Sonar.Json
@@ -120,6 +123,67 @@ let analyze dut format profile =
       0
 
 (* ------------------------------------------------------------------ *)
+(* live observability (fuzz --serve and the serve subcommand)          *)
+
+(* A mutex-synchronized aggregator + observatory pair and the standard
+   three HTTP routes over their snapshots. The returned sink is safe to
+   feed from the campaign domain while the server domain snapshots. *)
+let live_observability ?(status = "running") ~extra_health () =
+  let mutex = Mutex.create () in
+  let agg_sink, agg_snap = Telemetry.aggregator () in
+  let obs_sink, obs_snap = Telemetry.observatory () in
+  let status = ref status in
+  let sink =
+    Telemetry.synchronized mutex
+      (Telemetry.make
+         ~close:(fun () ->
+           agg_sink.Telemetry.close ();
+           obs_sink.Telemetry.close ())
+         (fun ev ->
+           agg_sink.Telemetry.emit ev;
+           obs_sink.Telemetry.emit ev;
+           match ev with
+           | Telemetry.Campaign_end e -> status := e.outcome
+           | Telemetry.Campaign_start _ -> ()
+           | _ -> ()))
+  in
+  let snap () =
+    Mutex.protect mutex (fun () -> (agg_snap (), obs_snap (), !status))
+  in
+  let handler =
+    Sonar.Serve.routes
+      ~healthz:(fun () ->
+        let m, _, st = snap () in
+        Json.Obj
+          ([ ("status", Json.String st) ]
+          @ extra_health
+          @ [
+              ("generations", Json.Int m.Telemetry.Metrics.generations);
+              ("testcases", Json.Int m.testcases);
+              ("coverage", Json.Float m.coverage);
+              ("corpus_size", Json.Int m.corpus_size);
+              ("wall_seconds", Json.Float m.wall_seconds);
+            ]))
+      ~snapshot:(fun () ->
+        let m, o, _ = snap () in
+        Json.Obj
+          [
+            ("metrics", Telemetry.Metrics.to_json m);
+            ("observatory", Telemetry.Observatory.to_json o);
+          ])
+      ~metrics:(fun () ->
+        let m, o, _ = snap () in
+        Sonar.Serve.prometheus m o)
+  in
+  (sink, handler)
+
+let valid_port ~flag = function
+  | Some p when p < 0 || p > 65535 ->
+      Printf.eprintf "sonar: %s must be a port number 0-65535 (got %d)\n" flag p;
+      exit 1
+  | p -> p
+
+(* ------------------------------------------------------------------ *)
 (* fuzz                                                                *)
 
 (* Strict validation: a nonsensical value is a user error, not something to
@@ -143,7 +207,8 @@ let unknown_strategy name =
   1
 
 let fuzz dut iterations seed strategy_name list random_mode dual jobs batch
-    chunk no_checkpoint trace timings stats progress format =
+    chunk no_checkpoint trace timings rotate_bytes rotate_generations
+    serve_port stats progress format =
   if list then list_strategies ()
   else
   let jobs = positive_or_die ~flag:"--jobs" jobs in
@@ -152,6 +217,17 @@ let fuzz dut iterations seed strategy_name list random_mode dual jobs batch
     Option.get (positive_or_die ~flag:"--batch" (Some batch))
   in
   let chunk = positive_or_die ~flag:"--chunk" chunk in
+  let rotate_bytes = positive_or_die ~flag:"--rotate-bytes" rotate_bytes in
+  let rotate_generations =
+    positive_or_die ~flag:"--rotate-generations" rotate_generations
+  in
+  let rotate = rotate_bytes <> None || rotate_generations <> None in
+  if rotate && trace = None then begin
+    Printf.eprintf
+      "sonar fuzz: --rotate-bytes/--rotate-generations need --trace FILE\n";
+    exit 1
+  end;
+  let serve_port = valid_port ~flag:"--serve" serve_port in
   (* --strategy NAME wins; --random remains shorthand for --strategy
      random; the default is the paper's policy. *)
   let strategy_name =
@@ -169,7 +245,13 @@ let fuzz dut iterations seed strategy_name list random_mode dual jobs batch
         match jobs with Some j -> j | None -> Sonar.Domain_pool.default_jobs ()
       in
       let trace_sink =
-        Option.map (fun path -> Telemetry.jsonl_file ~timings path) trace
+        Option.map
+          (fun path ->
+            if rotate then
+              Telemetry.rotating_jsonl ~timings ?max_bytes:rotate_bytes
+                ?max_generations:rotate_generations path
+            else Telemetry.jsonl_file ~timings path)
+          trace
       in
       let agg = if stats then Some (Telemetry.aggregator ()) else None in
       let obs = if stats then Some (Telemetry.observatory ()) else None in
@@ -178,9 +260,25 @@ let fuzz dut iterations seed strategy_name list random_mode dual jobs batch
           (fun every -> Telemetry.progress ~every:(max 1 every) ~total:iterations ())
           progress
       in
+      let live =
+        Option.map
+          (fun port ->
+            let extra_health =
+              [ ("iterations_target", Json.Int iterations) ]
+            in
+            let sink, handler = live_observability ~extra_health () in
+            let server = Sonar.Serve.start ~port handler in
+            Printf.eprintf
+              "sonar fuzz: observability on http://127.0.0.1:%d/ \
+               (healthz, snapshot, metrics)\n%!"
+              (Sonar.Serve.port server);
+            (sink, server))
+          serve_port
+      in
       let sinks =
         List.filter_map Fun.id
-          [ trace_sink; Option.map fst agg; Option.map fst obs; progress_sink ]
+          [ trace_sink; Option.map fst agg; Option.map fst obs; progress_sink;
+            Option.map fst live ]
       in
       let options =
         {
@@ -199,7 +297,9 @@ let fuzz dut iterations seed strategy_name list random_mode dual jobs batch
          crash mid-campaign still leaves a flushed, parseable trace. *)
       let o =
         Fun.protect
-          ~finally:(fun () -> List.iter Telemetry.close sinks)
+          ~finally:(fun () ->
+            List.iter Telemetry.close sinks;
+            Option.iter (fun (_, server) -> Sonar.Serve.stop server) live)
           (fun () -> Sonar.Fuzzer.run ~options cfg strategy ~iterations)
       in
       let snapshot = Option.map (fun (_, snap) -> snap ()) agg in
@@ -266,15 +366,18 @@ let fuzz dut iterations seed strategy_name list random_mode dual jobs batch
 (* ------------------------------------------------------------------ *)
 (* report                                                              *)
 
-let report trace top format output sidecar no_sidecar =
-  match Sonar.Report.load trace with
+let report traces top format output sidecar no_sidecar strict label =
+  match Sonar.Report.load_many ?label traces with
   | Error msg ->
       Printf.eprintf "sonar report: %s\n" msg;
       1
   | Ok r ->
+      let shown =
+        match label with Some l -> l | None -> String.concat ", " traces
+      in
       if Sonar.Report.skipped r > 0 then
         Printf.eprintf "sonar report: skipped %d unparseable line(s) of %s\n"
-          (Sonar.Report.skipped r) trace;
+          (Sonar.Report.skipped r) shown;
       let doc =
         match format with
         | `Markdown -> Sonar.Report.to_markdown ~top r
@@ -288,14 +391,113 @@ let report trace top format output sidecar no_sidecar =
           close_out oc);
       if not no_sidecar then begin
         let path =
-          match sidecar with Some p -> p | None -> trace ^ ".report.json"
+          match sidecar with
+          | Some p -> p
+          | None -> List.hd traces ^ ".report.json"
         in
         let oc = open_out path in
         output_string oc (Json.to_string (Sonar.Report.to_json r));
         output_char oc '\n';
         close_out oc
       end;
-      0
+      if strict && Sonar.Report.skipped r > 0 then begin
+        Printf.eprintf
+          "sonar report: --strict: %d line(s) did not parse\n"
+          (Sonar.Report.skipped r);
+        2
+      end
+      else 0
+
+(* ------------------------------------------------------------------ *)
+(* serve                                                               *)
+
+(* Replay trace file(s) through the live observability sink, then serve
+   the endpoints until interrupted. Resync lines (segment-head state
+   replays written by rotation) are dropped once a real event has been
+   seen, mirroring the report merger, so counters are not double-counted
+   when several rotated segments are given. With --follow, the last file
+   keeps being tailed for appended complete lines — point it at the
+   trace of a campaign still running. *)
+let serve traces port follow =
+  let port = Option.get (valid_port ~flag:"--port" (Some port)) in
+  let extra_health =
+    [ ("traces", Json.List (List.map (fun t -> Json.String t) traces)) ]
+  in
+  let sink, handler =
+    live_observability ~status:"replaying" ~extra_health ()
+  in
+  let seen_real = ref false in
+  let feed line =
+    if String.trim line <> "" then
+      match Json.of_string line with
+      | exception Json.Parse_error _ -> ()
+      | doc -> (
+          match Telemetry.event_of_json doc with
+          | None -> ()
+          | Some ev ->
+              let resync = Telemetry.json_is_resync doc in
+              if not (resync && !seen_real) then begin
+                if not resync then seen_real := true;
+                sink.Telemetry.emit ev
+              end)
+  in
+  let replay_whole path =
+    let ic = open_in_bin path in
+    (try
+       while true do
+         feed (input_line ic)
+       done
+     with End_of_file -> ());
+    close_in ic
+  in
+  (* The tailed file is consumed by byte offset, complete lines only, so
+     a line caught mid-write is fed on the next poll instead of half now. *)
+  let carry = Buffer.create 256 in
+  let offset = ref 0 in
+  let drain path =
+    match open_in_bin path with
+    | exception Sys_error msg -> Printf.eprintf "sonar serve: %s\n%!" msg
+    | ic ->
+        let len = in_channel_length ic in
+        if len > !offset then begin
+          seek_in ic !offset;
+          Buffer.add_string carry (really_input_string ic (len - !offset));
+          offset := len;
+          let data = Buffer.contents carry in
+          Buffer.clear carry;
+          let rec split start =
+            match String.index_from_opt data start '\n' with
+            | Some i ->
+                feed (String.sub data start (i - start));
+                split (i + 1)
+            | None ->
+                Buffer.add_substring carry data start
+                  (String.length data - start)
+          in
+          split 0
+        end;
+        close_in ic
+  in
+  let rec replay = function
+    | [] -> ()
+    | [ last ] -> drain last
+    | f :: rest ->
+        replay_whole f;
+        replay rest
+  in
+  replay traces;
+  let server = Sonar.Serve.start ~port handler in
+  Printf.eprintf
+    "sonar serve: %d trace file(s) replayed; listening on \
+     http://127.0.0.1:%d/ (healthz, snapshot, metrics)%s\n%!"
+    (List.length traces) (Sonar.Serve.port server)
+    (if follow then " — following" else "");
+  let last = List.nth traces (List.length traces - 1) in
+  while true do
+    Unix.sleepf (if follow then 0.5 else 3600.);
+    if follow then drain last
+  done;
+  0
 
 (* ------------------------------------------------------------------ *)
 (* channels                                                            *)
@@ -457,6 +659,40 @@ let fuzz_cmd =
              not deterministic, so traces written with this flag are not \
              byte-comparable across runs.")
   in
+  let rotate_bytes =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "rotate-bytes" ] ~docv:"N"
+          ~doc:
+            "Rotate the $(b,--trace) file into numbered segments \
+             ($(i,FILE).0000, $(i,FILE).0001, …) once a segment exceeds \
+             $(docv) bytes. Rotation happens only at generation \
+             boundaries; every segment is self-contained (state-replay \
+             header) and $(b,sonar report) merges them back \
+             byte-identically.")
+  in
+  let rotate_generations =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "rotate-generations" ] ~docv:"N"
+          ~doc:
+            "Rotate the $(b,--trace) file after every $(docv) \
+             generations (combinable with $(b,--rotate-bytes); whichever \
+             threshold trips first).")
+  in
+  let serve =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "serve" ] ~docv:"PORT"
+          ~doc:
+            "Serve live observability over HTTP on 127.0.0.1:$(docv) \
+             while the campaign runs: $(b,/healthz), $(b,/snapshot) \
+             (JSON) and $(b,/metrics) (Prometheus text format). Port 0 \
+             picks a free port (printed on stderr).")
+  in
   let stats =
     Arg.(
       value
@@ -478,8 +714,9 @@ let fuzz_cmd =
   Cmd.v (Cmd.info "fuzz" ~doc)
     Term.(
       const fuzz $ dut_arg $ iters $ seed $ strategy $ list $ random_mode
-      $ dual $ jobs $ batch $ chunk $ no_checkpoint $ trace $ timings $ stats
-      $ progress $ format_arg)
+      $ dual $ jobs $ batch $ chunk $ no_checkpoint $ trace $ timings
+      $ rotate_bytes $ rotate_generations $ serve $ stats $ progress
+      $ format_arg)
 
 let report_cmd =
   let doc = "build an offline report from a JSONL telemetry trace" in
@@ -498,11 +735,16 @@ let report_cmd =
          ($(i,TRACE).report.json) unless $(b,--no-sidecar) is given.";
     ]
   in
-  let trace =
+  let traces =
     Arg.(
-      required
-      & pos 0 (some file) None
-      & info [] ~docv:"TRACE" ~doc:"JSONL telemetry trace to report on.")
+      non_empty
+      & pos_all file []
+      & info [] ~docv:"TRACE"
+          ~doc:
+            "JSONL telemetry trace(s) to report on. Several files — \
+             rotated segments (give them in segment order, e.g. via a \
+             shell glob) or per-shard campaign traces — merge into one \
+             report.")
   in
   let top =
     Arg.(
@@ -536,8 +778,71 @@ let report_cmd =
   let no_sidecar =
     Arg.(value & flag & info [ "no-sidecar" ] ~doc:"Do not write the JSON sidecar.")
   in
+  let strict =
+    Arg.(
+      value
+      & flag
+      & info [ "strict" ]
+          ~doc:
+            "Exit with status 2 when any input line fails to parse \
+             (after still writing the report and sidecar for whatever \
+             did parse).")
+  in
+  let label =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "label" ] ~docv:"NAME"
+          ~doc:
+            "Override the trace label shown in the report (default: the \
+             input paths). Pass the same label to compare a merged \
+             multi-file report against a single-trace report \
+             byte-for-byte.")
+  in
   Cmd.v (Cmd.info "report" ~doc ~man)
-    Term.(const report $ trace $ top $ format $ output $ sidecar $ no_sidecar)
+    Term.(
+      const report $ traces $ top $ format $ output $ sidecar $ no_sidecar
+      $ strict $ label)
+
+let serve_cmd =
+  let doc = "serve HTTP observability endpoints over a telemetry trace" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Replays one or more JSONL traces (rotated segments merge, as in \
+         $(b,sonar report)) into in-memory metrics and serves \
+         $(b,/healthz), $(b,/snapshot) (JSON) and $(b,/metrics) \
+         (Prometheus text format) on 127.0.0.1 until interrupted.";
+      `P
+        "With $(b,--follow), the last trace keeps being tailed for \
+         appended events — point it at the $(b,--trace) file of a \
+         campaign that is still running. For in-process live serving, \
+         see $(b,sonar fuzz --serve).";
+    ]
+  in
+  let traces =
+    Arg.(
+      non_empty
+      & pos_all file []
+      & info [] ~docv:"TRACE" ~doc:"JSONL telemetry trace(s) to serve.")
+  in
+  let port =
+    Arg.(
+      value
+      & opt int 8642
+      & info [ "port" ] ~docv:"PORT"
+          ~doc:"Port to listen on (0 picks a free port, printed on stderr).")
+  in
+  let follow =
+    Arg.(
+      value
+      & flag
+      & info [ "follow" ]
+          ~doc:"Keep tailing the last trace file for appended events.")
+  in
+  Cmd.v (Cmd.info "serve" ~doc ~man)
+    Term.(const serve $ traces $ port $ follow)
 
 let channels_cmd =
   let doc = "measure the catalogued side channels (Table 3)" in
@@ -558,4 +863,5 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group (Cmd.info "sonar" ~version:"1.0.0" ~doc)
-          [ analyze_cmd; fuzz_cmd; report_cmd; channels_cmd; attack_cmd ]))
+          [ analyze_cmd; fuzz_cmd; report_cmd; serve_cmd; channels_cmd;
+            attack_cmd ]))

@@ -223,9 +223,25 @@ let run ?(options = Options.default) cfg (strategy : Feedback.t) ~iterations =
       :: !series
   in
   let now () = if telemetry_on then Unix.gettimeofday () else 0. in
+  let campaign_t0 = now () in
+  let iteration = ref 0 in
+  (* The trace footer, emitted exactly once however the campaign ends, so a
+     partial trace is machine-distinguishable from a completed one. On the
+     crash path each sink gets its own guarded emit — a sink may itself be
+     what crashed the campaign. *)
+  let campaign_end outcome =
+    Telemetry.Campaign_end
+      {
+        outcome;
+        iterations_done = !iteration;
+        coverage = Coverage.total coverage;
+        timing_diffs = !timing_diffs;
+        corpus_size = Corpus.size corpus;
+        wall_seconds = Some (now () -. campaign_t0);
+      }
+  in
   let run_generations pool =
     let end_campaign = span "campaign" in
-    let iteration = ref 0 in
     let generation = ref 0 in
     while !iteration < iterations do
       incr generation;
@@ -311,9 +327,14 @@ let run ?(options = Options.default) cfg (strategy : Feedback.t) ~iterations =
   (try
      if jobs > 1 then
        Domain_pool.with_pool ~jobs (fun pool -> run_generations (Some pool))
-     else run_generations None
+     else run_generations None;
+     if telemetry_on then emit (campaign_end "completed")
    with e ->
      let bt = Printexc.get_raw_backtrace () in
+     if telemetry_on then begin
+       let footer = campaign_end "crashed" in
+       List.iter (fun s -> try s.Telemetry.emit footer with _ -> ()) sinks
+     end;
      List.iter (fun s -> try Telemetry.close s with _ -> ()) sinks;
      Printexc.raise_with_backtrace e bt);
   {

@@ -6,6 +6,9 @@
 type t = {
   source : string;
   strategy : string option;  (* from the campaign_start trace header *)
+  outcome : string option;  (* from the campaign_end trace footer *)
+  wall_seconds : float option;  (* footer wall-clock (timings traces only) *)
+  campaigns : int;  (* distinct campaigns merged into this report *)
   events : int;
   skipped : int;
   testcases : int;
@@ -29,6 +32,8 @@ let of_events ?(source = "<events>") ?(skipped = 0) events =
   let obs_sink, obs_snapshot = Telemetry.observatory () in
   let n = ref 0 in
   let strategy = ref None in
+  let outcome = ref None in
+  let wall_seconds = ref None in
   let testcases = ref 0 in
   let generations = ref 0 in
   let iterations_done = ref 0 in
@@ -74,6 +79,13 @@ let of_events ?(source = "<events>") ?(skipped = 0) events =
           let k = Telemetry.phase_name e.phase in
           Hashtbl.replace phases k
             (e.seconds +. Option.value ~default:0. (Hashtbl.find_opt phases k))
+      | Telemetry.Campaign_end e ->
+          outcome := Some e.outcome;
+          wall_seconds := e.wall_seconds;
+          iterations_done := e.iterations_done;
+          coverage := e.coverage;
+          timing_diffs := e.timing_diffs;
+          corpus_size := e.corpus_size
       | Telemetry.Interval_histogram _ | Telemetry.Coverage_heatmap _
       | Telemetry.Span_begin _ | Telemetry.Span_end _
       | Telemetry.Checkpoint_stats _ ->
@@ -84,6 +96,9 @@ let of_events ?(source = "<events>") ?(skipped = 0) events =
   {
     source;
     strategy = !strategy;
+    outcome = !outcome;
+    wall_seconds = !wall_seconds;
+    campaigns = 1;
     events = !n;
     skipped;
     testcases = !testcases;
@@ -106,22 +121,143 @@ let of_events ?(source = "<events>") ?(skipped = 0) events =
     observatory = obs_snapshot ();
   }
 
-let of_lines ?source lines =
-  let skipped = ref 0 in
-  let events =
-    List.filter_map
-      (fun line ->
-        if String.trim line = "" then None
-        else
-          match Telemetry.event_of_json (Json.of_string line) with
-          | Some ev -> Some ev
-          | None -> incr skipped; None
-          | exception Json.Parse_error _ -> incr skipped; None)
-      lines
-  in
-  of_events ?source ~skipped:!skipped events
+(* ------------------------------------------------------------------ *)
+(* Multi-trace assembly: parse lines, stitch rotation segments back into
+   their campaign's stream, split distinct campaigns, merge.             *)
 
-let load path =
+(* One decoded trace line; [presync] marks the state-replay lines that
+   [Telemetry.rotating_jsonl] writes at the head of later segments. *)
+type parsed = { pev : Telemetry.event; presync : bool }
+
+let parse_lines ~skipped lines =
+  List.filter_map
+    (fun line ->
+      if String.trim line = "" then None
+      else
+        match Json.of_string line with
+        | exception Json.Parse_error _ ->
+            incr skipped;
+            None
+        | doc -> (
+            match Telemetry.event_of_json doc with
+            | Some pev -> Some { pev; presync = Telemetry.json_is_resync doc }
+            | None ->
+                incr skipped;
+                None))
+    lines
+
+(* Split one interleaved parsed stream into campaign event streams.
+
+   Resync lines replay state the campaign already emitted: once the
+   current campaign holds a real (non-resync) event they are dropped, so
+   reassembled rotation segments recover exactly the unrotated stream. A
+   resync head with no preceding stream (reporting a lone later segment)
+   is kept — it is precisely what makes that segment self-contained.
+
+   A real campaign_start against a non-empty stream opens a new campaign;
+   that rule is file-agnostic, so reporting [a b] and reporting their
+   concatenation split identically. *)
+let split_campaigns parsed =
+  let campaigns = ref [] in
+  let cur = ref [] in
+  let seen_real = ref false in
+  let flush () =
+    if !cur <> [] then campaigns := List.rev !cur :: !campaigns;
+    cur := [];
+    seen_real := false
+  in
+  List.iter
+    (fun { pev; presync } ->
+      if presync then begin
+        if not !seen_real then cur := pev :: !cur
+      end
+      else begin
+        (match pev with
+        | Telemetry.Campaign_start _ when !cur <> [] -> flush ()
+        | _ -> ());
+        cur := pev :: !cur;
+        seen_real := true
+      end)
+    parsed;
+  flush ();
+  List.rev !campaigns
+
+(* Cluster-level merge of two campaign folds: counters sum, the
+   observatory merges structurally, series and findings concatenate. *)
+let merge a b =
+  let sum_phases () =
+    List.filter_map
+      (fun k ->
+        let get r = List.assoc_opt k r.phase_seconds in
+        match (get a, get b) with
+        | None, None -> None
+        | x, y ->
+            Some
+              ( k,
+                Option.value ~default:0. x +. Option.value ~default:0. y ))
+      [ "generate"; "execute"; "feedback" ]
+  in
+  {
+    source = a.source;
+    strategy =
+      (match (a.strategy, b.strategy) with
+      | Some x, Some y when x = y -> Some x
+      | Some _, Some _ -> Some "mixed"
+      | x, None -> x
+      | None, y -> y);
+    outcome =
+      (* None (no footer) poisons: the merged set contains a trace whose
+         campaign never ended, so the cluster is incomplete. *)
+      (match (a.outcome, b.outcome) with
+      | None, _ | _, None -> None
+      | Some x, Some y when x = y -> Some x
+      | Some "crashed", Some _ | Some _, Some "crashed" -> Some "crashed"
+      | Some _, Some _ -> Some "mixed");
+    wall_seconds =
+      (match (a.wall_seconds, b.wall_seconds) with
+      | Some x, Some y -> Some (x +. y)
+      | x, None -> x
+      | None, y -> y);
+    campaigns = a.campaigns + b.campaigns;
+    events = a.events + b.events;
+    skipped = a.skipped + b.skipped;
+    testcases = a.testcases + b.testcases;
+    generations = a.generations + b.generations;
+    iterations_done = a.iterations_done + b.iterations_done;
+    final_coverage = a.final_coverage +. b.final_coverage;
+    final_timing_diffs = a.final_timing_diffs + b.final_timing_diffs;
+    final_corpus_size = a.final_corpus_size + b.final_corpus_size;
+    contention_testcases = a.contention_testcases + b.contention_testcases;
+    retained = a.retained + b.retained;
+    evicted = a.evicted + b.evicted;
+    direction_flips = a.direction_flips + b.direction_flips;
+    phase_seconds = sum_phases ();
+    series = a.series @ b.series;
+    findings = a.findings @ b.findings;
+    observatory = Telemetry.Observatory.merge a.observatory b.observatory;
+  }
+
+let of_traces ?label sources =
+  let label =
+    match label with
+    | Some l -> l
+    | None -> String.concat ", " (List.map fst sources)
+  in
+  let skipped = ref 0 in
+  let parsed = List.concat_map (fun (_, lines) -> parse_lines ~skipped lines) sources in
+  match split_campaigns parsed with
+  | [] -> of_events ~source:label ~skipped:!skipped []
+  | first :: rest ->
+      let r0 = of_events ~source:label ~skipped:!skipped first in
+      List.fold_left
+        (fun acc events -> merge acc (of_events ~source:label events))
+        r0 rest
+
+let of_lines ?source lines =
+  let label = Option.value ~default:"<lines>" source in
+  of_traces ~label [ (label, lines) ]
+
+let read_lines path =
   match open_in path with
   | exception Sys_error msg -> Error msg
   | ic ->
@@ -132,10 +268,24 @@ let load path =
          done
        with End_of_file -> ());
       close_in ic;
-      Ok (of_lines ~source:path (List.rev !lines))
+      Ok (List.rev !lines)
+
+let load_many ?label paths =
+  let rec read acc = function
+    | [] -> Ok (List.rev acc)
+    | p :: rest -> (
+        match read_lines p with
+        | Error msg -> Error msg
+        | Ok lines -> read ((p, lines) :: acc) rest)
+  in
+  Result.map (of_traces ?label) (read [] paths)
+
+let load path = load_many ~label:path [ path ]
 
 let skipped r = r.skipped
 let events r = r.events
+let outcome r = r.outcome
+let campaigns r = r.campaigns
 
 (* ------------------------------------------------------------------ *)
 (* Section model shared by the markdown and HTML renderers.            *)
@@ -181,12 +331,30 @@ let bar ?(width = 24) ~peak v =
 let fmt_f = Printf.sprintf "%.1f"
 let fmt_s = Printf.sprintf "%.3fs"
 
+(* One line under the title, rendered in both markdown and HTML: the
+   reader learns up front how much of the input actually decoded. *)
+let header_para r =
+  Printf.sprintf "Replayed %d events, %d skipped lines%s." r.events r.skipped
+    (if r.campaigns > 1 then
+       Printf.sprintf " across %d merged campaigns" r.campaigns
+     else "")
+
 let summary_section r =
   let rows =
     [ [ "trace"; r.source ] ]
     @ (match r.strategy with
       | Some s -> [ [ "strategy"; s ] ]
       | None -> [])
+    @ [
+      [ "outcome";
+        Option.value ~default:"incomplete (no campaign_end)" r.outcome ];
+    ]
+    @ (match r.wall_seconds with
+      | Some w -> [ [ "campaign wall-clock"; fmt_s w ] ]
+      | None -> [])
+    @ (if r.campaigns > 1 then
+         [ [ "campaigns merged"; string_of_int r.campaigns ] ]
+       else [])
     @ [
       [ "events"; string_of_int r.events ];
       [ "skipped lines"; string_of_int r.skipped ];
@@ -352,9 +520,10 @@ let sections ?(top = 10) r =
 (* ------------------------------------------------------------------ *)
 (* Renderers.                                                          *)
 
-let render_markdown secs =
+let render_markdown ~header secs =
   let buf = Buffer.create 4096 in
-  Buffer.add_string buf "# Sonar campaign report\n";
+  Buffer.add_string buf "# Sonar campaign report\n\n";
+  Buffer.add_string buf (header ^ "\n");
   List.iter
     (fun s ->
       Buffer.add_string buf (Printf.sprintf "\n## %s\n\n" s.title);
@@ -392,7 +561,7 @@ let html_escape s =
     s;
   Buffer.contents buf
 
-let render_html secs =
+let render_html ~header secs =
   let buf = Buffer.create 8192 in
   Buffer.add_string buf
     "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\n\
@@ -406,6 +575,8 @@ let render_html secs =
      th{background:#f2f2f2}\n\
      pre{background:#f7f7f7;padding:0.75rem;overflow-x:auto}\n\
      </style></head><body>\n<h1>Sonar campaign report</h1>\n";
+  Buffer.add_string buf
+    (Printf.sprintf "<p>%s</p>\n" (html_escape header));
   List.iter
     (fun s ->
       Buffer.add_string buf
@@ -442,8 +613,8 @@ let render_html secs =
   Buffer.add_string buf "</body></html>\n";
   Buffer.contents buf
 
-let to_markdown ?top r = render_markdown (sections ?top r)
-let to_html ?top r = render_html (sections ?top r)
+let to_markdown ?top r = render_markdown ~header:(header_para r) (sections ?top r)
+let to_html ?top r = render_html ~header:(header_para r) (sections ?top r)
 
 let to_json r : Json.t =
   Json.Obj
@@ -456,6 +627,15 @@ let to_json r : Json.t =
               match r.strategy with
               | Some s -> Json.String s
               | None -> Json.Null );
+            ( "outcome",
+              match r.outcome with
+              | Some o -> Json.String o
+              | None -> Json.Null );
+            ( "wall_seconds",
+              match r.wall_seconds with
+              | Some w -> Json.Float w
+              | None -> Json.Null );
+            ("campaigns", Json.Int r.campaigns);
             ("events", Json.Int r.events);
             ("skipped", Json.Int r.skipped);
             ("testcases", Json.Int r.testcases);

@@ -55,6 +55,14 @@ type event =
       cycles_saved : int;
       cycles_simulated : int;
     }
+  | Campaign_end of {
+      outcome : string;
+      iterations_done : int;
+      coverage : float;
+      timing_diffs : int;
+      corpus_size : int;
+      wall_seconds : float option;
+    }
 
 (* Span events carry (or bracket) wall-clock measurements, so they join
    Phase_timing in the timings opt-in class excluded from traces by
@@ -82,6 +90,12 @@ let make ?(close = ignore) emit = { emit; close }
 let close s = s.close ()
 
 let emit_all sinks ev = List.iter (fun s -> s.emit ev) sinks
+
+let synchronized m s =
+  {
+    emit = (fun ev -> Mutex.protect m (fun () -> s.emit ev));
+    close = (fun () -> Mutex.protect m (fun () -> s.close ()));
+  }
 
 (* ------------------------------------------------------------------ *)
 (* JSON encoding (schema in DESIGN.md §9).                             *)
@@ -207,6 +221,19 @@ let json_of_event ev : Json.t =
           ("cycles_saved", Json.Int e.cycles_saved);
           ("cycles_simulated", Json.Int e.cycles_simulated);
         ]
+  | Campaign_end e ->
+      obj "campaign_end"
+        ([
+           ("outcome", Json.String e.outcome);
+           ("iterations_done", Json.Int e.iterations_done);
+           ("coverage", Json.Float e.coverage);
+           ("timing_diffs", Json.Int e.timing_diffs);
+           ("corpus_size", Json.Int e.corpus_size);
+         ]
+        @
+        match e.wall_seconds with
+        | Some w -> [ ("wall_seconds", Json.Float w) ]
+        | None -> [])
 
 let event_of_json doc =
   let open Json in
@@ -335,16 +362,48 @@ let event_of_json doc =
                cycles_saved = i "cycles_saved";
                cycles_simulated = i "cycles_simulated";
              })
+    | "campaign_end" ->
+        let wall_seconds =
+          match member "wall_seconds" doc with
+          | Null -> None
+          | v -> Some (to_float v)
+        in
+        Some
+          (Campaign_end
+             {
+               outcome = s "outcome";
+               iterations_done = i "iterations_done";
+               coverage = f "coverage";
+               timing_diffs = i "timing_diffs";
+               corpus_size = i "corpus_size";
+               wall_seconds;
+             })
     | _ -> None
   with Parse_error _ -> None
+
+let json_is_resync doc = match Json.member "resync" doc with
+  | Json.Bool b -> b
+  | _ -> false
 
 (* ------------------------------------------------------------------ *)
 (* JSONL trace writer.                                                 *)
 
+(* What the trace writers keep, and in what form. Campaign_end belongs to
+   the deterministic class, but its wall_seconds field is wall-clock, so a
+   non-timings trace carries the event with the field stripped. *)
+let trace_form ~timings ev =
+  if timings then Some ev
+  else if is_timing_event ev || is_execution_event ev then None
+  else
+    match ev with
+    | Campaign_end e -> Some (Campaign_end { e with wall_seconds = None })
+    | ev -> Some ev
+
 let jsonl ?(timings = false) write_line =
   make (fun ev ->
-      if timings || not (is_timing_event ev || is_execution_event ev) then
-        write_line (Json.to_string (json_of_event ev)))
+      match trace_form ~timings ev with
+      | Some ev -> write_line (Json.to_string (json_of_event ev))
+      | None -> ())
 
 let jsonl_file ?timings path =
   let oc = open_out path in
@@ -355,12 +414,108 @@ let jsonl_file ?timings path =
   in
   let inner = jsonl ?timings line in
   {
-    emit = inner.emit;
+    emit =
+      (fun ev ->
+        inner.emit ev;
+        (* generation-boundary flush: a campaign killed hard still leaves
+           its completed generations on disk, and a follower (tail -f,
+           `sonar serve --follow`) sees progress as it happens *)
+        match ev with
+        | Generation_end _ | Campaign_end _ -> flush oc
+        | _ -> ());
     close =
       (fun () ->
         if not !closed then begin
           closed := true;
           close_out oc
+        end);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Rotating JSONL trace writer: numbered segments, each self-contained. *)
+
+let segment_path base i = Printf.sprintf "%s.%04d" base i
+
+let rotating_jsonl ?(timings = false) ?max_bytes ?max_generations path =
+  (match (max_bytes, max_generations) with
+  | None, None ->
+      invalid_arg
+        "Telemetry.rotating_jsonl: set max_bytes and/or max_generations"
+  | Some b, _ when b < 1 ->
+      invalid_arg "Telemetry.rotating_jsonl: max_bytes must be >= 1"
+  | _, Some g when g < 1 ->
+      invalid_arg "Telemetry.rotating_jsonl: max_generations must be >= 1"
+  | _ -> ());
+  let seg = ref 0 in
+  let oc = ref (open_out (segment_path path 0)) in
+  let bytes = ref 0 in
+  let gens = ref 0 in
+  let closed = ref false in
+  (* Cumulative campaign state replayed at the head of every later
+     segment: the trace header, plus the latest interval_histogram per
+     (point, source-pair) key and the latest coverage_heatmap — all three
+     event kinds are cumulative by construction, so replaying the most
+     recent one of each rebuilds the observatory exactly. *)
+  let header = ref None in
+  let heat = ref None in
+  let hists : (Histogram.key, event) Hashtbl.t = Hashtbl.create 256 in
+  let write_doc doc =
+    let s = Json.to_string doc in
+    output_string !oc s;
+    output_char !oc '\n';
+    bytes := !bytes + String.length s + 1
+  in
+  let resync_doc ev =
+    match json_of_event ev with
+    | Json.Obj fields -> Json.Obj (fields @ [ ("resync", Json.Bool true) ])
+    | doc -> doc
+  in
+  let rotate () =
+    close_out !oc;
+    incr seg;
+    oc := open_out (segment_path path !seg);
+    bytes := 0;
+    gens := 0;
+    Option.iter (fun ev -> write_doc (resync_doc ev)) !header;
+    Hashtbl.fold (fun k ev acc -> (k, ev) :: acc) hists []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+    |> List.iter (fun (_, ev) -> write_doc (resync_doc ev));
+    Option.iter (fun ev -> write_doc (resync_doc ev)) !heat
+  in
+  let emit ev =
+    (match ev with
+    | Campaign_start _ -> header := Some ev
+    | Interval_histogram e -> Hashtbl.replace hists (e.point, e.src_pair) ev
+    | Coverage_heatmap _ -> heat := Some ev
+    | _ -> ());
+    match trace_form ~timings ev with
+    | None -> ()
+    | Some wev -> (
+        write_doc (json_of_event wev);
+        (* Roll over only at generation boundaries, so every segment holds
+           whole generations and the resync state is well-defined. Flush
+           at the same boundaries (and on the footer) so a hard kill
+           still leaves whole generations on disk for the merger. *)
+        match ev with
+        | Generation_end _ ->
+            incr gens;
+            if
+              (match max_bytes with Some b -> !bytes >= b | None -> false)
+              || match max_generations with
+                 | Some g -> !gens >= g
+                 | None -> false
+            then rotate ();
+            flush !oc
+        | Campaign_end _ -> flush !oc
+        | _ -> ())
+  in
+  {
+    emit;
+    close =
+      (fun () ->
+        if not !closed then begin
+          closed := true;
+          close_out !oc
         end);
   }
 
@@ -485,6 +640,9 @@ let aggregator () =
         cycles_simulated := !cycles_simulated + e.cycles_simulated;
         cycles_saved := !cycles_saved + e.cycles_saved;
         checkpoint_hits := !checkpoint_hits + e.hits
+    | Campaign_end e ->
+        coverage := e.coverage;
+        corpus_size := e.corpus_size
     | Interval_histogram _ | Coverage_heatmap _ | Span_begin _ | Span_end _ ->
         ()
   in
@@ -651,6 +809,74 @@ module Observatory = struct
     in
     group (List.rev !roots)
 
+  let rec merge_span_trees a b =
+    let order = ref [] in
+    let by_name = Hashtbl.create 8 in
+    List.iter
+      (fun n ->
+        match Hashtbl.find_opt by_name n.span_name with
+        | None ->
+            order := n.span_name :: !order;
+            Hashtbl.add by_name n.span_name n
+        | Some m ->
+            Hashtbl.replace by_name n.span_name
+              {
+                span_name = n.span_name;
+                calls = m.calls + n.calls;
+                seconds = m.seconds +. n.seconds;
+                children = merge_span_trees m.children n.children;
+              })
+      (a @ b);
+    List.rev_map (fun name -> Hashtbl.find by_name name) !order
+
+  (* The fuzzer's "closest to contention" point order, shared with the
+     observatory sink's snapshot. *)
+  let sort_points points =
+    List.stable_sort
+      (fun (a : point_hist) b ->
+        let mn p =
+          Option.value ~default:max_int (Histogram.min_value p.hist)
+        in
+        compare (mn a, a.point, a.src_pair) (mn b, b.point, b.src_pair))
+      points
+
+  let merge a b =
+    let points =
+      let tbl = Hashtbl.create 256 in
+      List.iter
+        (fun p -> Hashtbl.replace tbl (p.point, p.src_pair) p.hist)
+        a.points;
+      List.iter
+        (fun p ->
+          let key = (p.point, p.src_pair) in
+          match Hashtbl.find_opt tbl key with
+          | None -> Hashtbl.add tbl key p.hist
+          | Some h -> Hashtbl.replace tbl key (Histogram.merge h p.hist))
+        b.points;
+      Hashtbl.fold
+        (fun (point, src_pair) hist acc -> { point; src_pair; hist } :: acc)
+        tbl []
+      |> sort_points
+    in
+    let heatmap =
+      let weights = Hashtbl.create 16 in
+      let order = ref [] in
+      List.iter
+        (fun (name, w) ->
+          (match Hashtbl.find_opt weights name with
+          | None -> order := name :: !order
+          | Some _ -> ());
+          Hashtbl.replace weights name
+            (w +. Option.value ~default:0. (Hashtbl.find_opt weights name)))
+        (a.heatmap @ b.heatmap);
+      List.rev_map (fun name -> (name, Hashtbl.find weights name)) !order
+    in
+    {
+      points;
+      heatmap;
+      span_tree = merge_span_trees a.span_tree b.span_tree;
+    }
+
   let rec json_of_span n : Json.t =
     Json.Obj
       [
@@ -756,10 +982,7 @@ let observatory () =
         (fun (point, src_pair) hist acc ->
           { Observatory.point; src_pair; hist } :: acc)
         hists []
-      |> List.stable_sort (fun (a : Observatory.point_hist) b ->
-             let mina = Option.value ~default:max_int (Histogram.min_value a.hist) in
-             let minb = Option.value ~default:max_int (Histogram.min_value b.hist) in
-             compare (mina, a.point, a.src_pair) (minb, b.point, b.src_pair))
+      |> Observatory.sort_points
     in
     let span_list =
       List.rev_map (fun (id, parent, name, seconds) -> (id, parent, name, !seconds)) !spans
@@ -781,6 +1004,10 @@ let progress ?(out = stderr) ~every ~total () =
   let testcases = ref 0 in
   let timing_diffs = ref 0 in
   let last_report = ref 0 in
+  (* Flush explicitly after every report line: when [out] is a pipe (CI log
+     capture, `sonar serve` supervision) the channel is block-buffered, and
+     an unflushed progress line is invisible exactly when someone is
+     watching for it. *)
   let emit = function
     | Testcase_executed _ -> incr testcases
     | Generation_end e ->
@@ -791,11 +1018,17 @@ let progress ?(out = stderr) ~every ~total () =
           let dt = Float.max 1e-9 (Unix.gettimeofday () -. t0) in
           Printf.fprintf out
             "[sonar] %6d/%d testcases | coverage %8.0f | timing diffs %5d | \
-             corpus %3d | %.1f tc/s\n\
-             %!"
+             corpus %3d | %.1f tc/s\n"
             e.iterations_done total e.coverage !timing_diffs e.corpus_size
-            (float_of_int !testcases /. dt)
+            (float_of_int !testcases /. dt);
+          flush out
         end
+    | Campaign_end e ->
+        Printf.fprintf out
+          "[sonar] campaign %s: %d/%d testcases | coverage %8.0f | timing \
+           diffs %5d\n"
+          e.outcome e.iterations_done total e.coverage e.timing_diffs;
+        flush out
     | _ -> ()
   in
-  make emit
+  make ~close:(fun () -> flush out) emit

@@ -93,6 +93,22 @@ type event =
           function of the checkpoint {e option}, not of the fuzzing
           outcome — excluded from traces by default so checkpoint-on and
           checkpoint-off campaigns produce byte-identical traces. *)
+  | Campaign_end of {
+      outcome : string;  (** ["completed"] or ["crashed"] *)
+      iterations_done : int;
+      coverage : float;
+      timing_diffs : int;
+      corpus_size : int;
+      wall_seconds : float option;
+    }
+      (** Trace footer: the campaign's final counters. Emitted exactly once,
+          as the last event — also on the crash path, so a partial trace
+          from a crashed campaign is machine-distinguishable (footer with
+          [outcome = "crashed"]) from a completed one ([outcome =
+          "completed"]) and from one killed hard (no footer at all).
+          [wall_seconds] is wall-clock data: the JSONL writers drop the
+          field unless [timings] is set, keeping default traces
+          byte-identical across runs and [--jobs] values. *)
 
 val is_timing_event : event -> bool
 (** Whether the event belongs to the wall-clock (timings opt-in) class:
@@ -118,6 +134,12 @@ val close : sink -> unit
 
 val emit_all : sink list -> event -> unit
 
+val synchronized : Mutex.t -> sink -> sink
+(** Wrap a sink so [emit] and [close] hold the mutex. Sinks are normally
+    invoked only from the campaign's own domain; use this when another
+    domain also reads the sink's state under the same mutex — e.g. the
+    {!Serve} HTTP domain snapshotting a live aggregator/observatory. *)
+
 (** {1 JSON encoding}
 
     One object per event: [{"event":"<name>", ...payload}]. The schema is
@@ -128,17 +150,57 @@ val json_of_event : event -> Json.t
 
 val event_of_json : Json.t -> event option
 (** Inverse of {!json_of_event}; [None] on unknown or malformed
-    documents. *)
+    documents. Unknown extra fields (e.g. the rotation [resync] marker)
+    are ignored. *)
+
+val json_is_resync : Json.t -> bool
+(** Whether an event document carries the [{"resync":true}] marker that
+    {!rotating_jsonl} stamps on the state-replay events at the head of
+    every segment after the first. Consumers merging segments drop marked
+    events once they already hold the campaign's state; consumers reading
+    a lone segment replay them to rebuild it. *)
 
 val jsonl : ?timings:bool -> (string -> unit) -> sink
 (** A trace writer calling the function once per event with one compact
     JSON document (no trailing newline). [timings] (default [false])
     includes the wall-clock event class ({!is_timing_event}:
-    [Phase_timing] and the profiling spans). *)
+    [Phase_timing] and the profiling spans) and the [wall_seconds] field
+    of {!event.Campaign_end} (dropped otherwise, so default traces stay
+    deterministic). *)
 
 val jsonl_file : ?timings:bool -> string -> sink
 (** {!jsonl} over a freshly created file, one event per line; the sink's
-    [close] closes the file. *)
+    [close] closes the file. The channel is flushed after every
+    [generation_end] and [campaign_end] line, so a campaign killed hard
+    still leaves its completed generations on disk and a follower
+    ([tail -f], [sonar serve --follow]) sees progress as it happens. *)
+
+(** {1 Bounded trace lifecycle: rotation} *)
+
+val segment_path : string -> int -> string
+(** [segment_path base i] is the path of segment [i] of a rotating trace:
+    [base.0000], [base.0001], … — zero-padded so a shell glob
+    ([base.*]) lists segments in order. *)
+
+val rotating_jsonl :
+  ?timings:bool -> ?max_bytes:int -> ?max_generations:int -> string -> sink
+(** A {!jsonl_file} whose output rolls over into numbered segments
+    ({!segment_path}) so week-long campaigns never grow one unbounded
+    file. Rollover happens only {e after} a [generation_end] line, once
+    the current segment holds at least [max_bytes] bytes ([max_bytes] is
+    therefore a soft threshold, overshot by at most one generation) or
+    [max_generations] generations; at least one threshold is required
+    ([Invalid_argument] otherwise, as is a threshold [< 1]). Like
+    {!jsonl_file}, the current segment is flushed at every generation
+    boundary and on the campaign footer.
+
+    Every segment after the first is self-contained: it opens with a
+    replay of the [campaign_start] header plus the latest cumulative
+    [interval_histogram] (one per key, sorted) and [coverage_heatmap]
+    events, each stamped with [{"resync":true}] ({!json_is_resync}).
+    Replaying a lone segment therefore rebuilds the full observatory
+    state, while a merger that drops the marked lines recovers exactly
+    the unrotated event stream — byte-identical reports either way. *)
 
 (** {1 In-memory aggregation} *)
 
@@ -242,6 +304,18 @@ module Observatory : sig
   (** Merge raw (id, parent, name, seconds) spans — in begin order — into a
       tree grouping same-named spans under the same parent path. Spans whose
       parent id is absent become roots (tolerates truncated traces). *)
+
+  val merge_span_trees : span_node list -> span_node list -> span_node list
+  (** Merge two span forests: same-named nodes under the same parent path
+      combine (calls and seconds summed, children merged recursively);
+      first-forest name order is preserved, new names append. *)
+
+  val merge : snapshot -> snapshot -> snapshot
+  (** Cluster-level merge of two campaign snapshots (e.g. per-shard
+      traces): interval histograms with the same (point, source-pair) key
+      sum via {!Histogram.merge} and the points re-sort by the usual
+      (min interval, point, pair) order; heatmap weights sum per
+      component; span trees merge via {!merge_span_trees}. *)
 end
 
 val observatory : unit -> sink * (unit -> Observatory.snapshot)
@@ -254,4 +328,8 @@ val progress : ?out:out_channel -> every:int -> total:int -> unit -> sink
 (** A human progress reporter (default on [stderr]): after each generation
     that completes at least [every] testcases since the last report, prints
     one line with testcases done / [total], coverage, timing differences,
-    corpus size, and testcases/sec. *)
+    corpus size, and testcases/sec, plus a final line when the campaign
+    ends. The channel is flushed after every report line (and again on
+    [close]), so progress stays visible when the channel is a pipe — CI
+    log capture, [sonar serve] supervision — where line buffering would
+    otherwise sit on the output indefinitely. *)

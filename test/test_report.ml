@@ -117,6 +117,159 @@ let test_deterministic () =
     (Json.to_string (Report.to_json (Report.of_lines a)))
     (Json.to_string (Report.to_json (Report.of_lines b)))
 
+(* --- rotation, shard merging, campaign_end surfacing --- *)
+
+let rotated_segments base =
+  let rec go i acc =
+    let p = Telemetry.segment_path base i in
+    if Sys.file_exists p then go (i + 1) (p :: acc) else List.rev acc
+  in
+  go 0 []
+
+let fresh_base () =
+  let base = Filename.temp_file "sonar_report_rot" ".jsonl" in
+  Sys.remove base;
+  base
+
+let test_rotated_merge_byte_identity () =
+  (* The PR's determinism invariant: the merged report over rotated
+     segments is byte-identical to the single-trace report, for every
+     worker count. *)
+  List.iter
+    (fun jobs ->
+      let base = fresh_base () in
+      let rot = Telemetry.rotating_jsonl ~max_generations:2 base in
+      let opts jobs sinks =
+        { Fuzzer.Options.default with seed = 23L; batch = 8; jobs; sinks }
+      in
+      ignore
+        (Fuzzer.run ~options:(opts jobs [ rot ]) nutshell Fuzzer.full_strategy
+           ~iterations:40);
+      Telemetry.close rot;
+      let segments = rotated_segments base in
+      checkb "campaign actually rotated" true (List.length segments > 1);
+      let single = ref [] in
+      let mem = Telemetry.jsonl (fun s -> single := s :: !single) in
+      ignore
+        (Fuzzer.run ~options:(opts 1 [ mem ]) nutshell Fuzzer.full_strategy
+           ~iterations:40);
+      let merged =
+        match Report.load_many ~label:"campaign" segments with
+        | Ok r -> r
+        | Error msg -> Alcotest.fail msg
+      in
+      let reference = Report.of_lines ~source:"campaign" (List.rev !single) in
+      checks
+        (Printf.sprintf "markdown byte-identical (jobs=%d)" jobs)
+        (Report.to_markdown reference)
+        (Report.to_markdown merged);
+      checks
+        (Printf.sprintf "sidecar byte-identical (jobs=%d)" jobs)
+        (Json.to_string (Report.to_json reference))
+        (Json.to_string (Report.to_json merged));
+      checki "still a single campaign" 1 (Report.campaigns merged);
+      List.iter Sys.remove segments)
+    [ 1; 2 ]
+
+let test_rotated_merge_after_crash () =
+  (* A campaign killed mid-segment leaves parseable segments whose merged
+     report equals the plain-trace report of the same crashed campaign. *)
+  let exception Boom in
+  let run sinks =
+    let n = ref 0 in
+    let bomb =
+      Telemetry.make (fun ev ->
+          if not (Telemetry.is_timing_event ev) then begin
+            incr n;
+            if !n > 60 then raise Boom
+          end)
+    in
+    match
+      Fuzzer.run
+        ~options:
+          { Fuzzer.Options.default with seed = 23L; batch = 8;
+            sinks = sinks @ [ bomb ] }
+        nutshell Fuzzer.full_strategy ~iterations:64
+    with
+    | exception Boom -> ()
+    | _ -> Alcotest.fail "expected the campaign to crash"
+  in
+  let base = fresh_base () in
+  let rot = Telemetry.rotating_jsonl ~max_generations:1 base in
+  run [ rot ];
+  Telemetry.close rot;
+  let segments = rotated_segments base in
+  checkb "rotation happened before the crash" true (List.length segments > 1);
+  let single = ref [] in
+  let mem = Telemetry.jsonl (fun s -> single := s :: !single) in
+  run [ mem ];
+  let merged =
+    match Report.load_many ~label:"campaign" segments with
+    | Ok r -> r
+    | Error msg -> Alcotest.fail msg
+  in
+  let reference = Report.of_lines ~source:"campaign" (List.rev !single) in
+  checks "crashed campaign merges byte-identically"
+    (Report.to_markdown reference)
+    (Report.to_markdown merged);
+  checkb "outcome survives the merge" true
+    (Report.outcome merged = Some "crashed");
+  checkb "crash surfaces in the summary" true
+    (contains ~needle:"| outcome | crashed |" (Report.to_markdown merged));
+  List.iter Sys.remove segments
+
+let test_shard_merge_equals_concat () =
+  (* Distinct campaigns (per-shard traces) merge cluster-level, and the
+     merge is file-boundary-agnostic: report(a, b) = report(a ++ b). *)
+  let shard seed =
+    let lines = ref [] in
+    let sink = Telemetry.jsonl (fun s -> lines := s :: !lines) in
+    ignore
+      (Fuzzer.run
+         ~options:{ Fuzzer.Options.default with seed; sinks = [ sink ] }
+         nutshell Fuzzer.full_strategy ~iterations:16);
+    List.rev !lines
+  in
+  let a = shard 23L and b = shard 24L in
+  let merged = Report.of_traces ~label:"fleet" [ ("a", a); ("b", b) ] in
+  let concatenated = Report.of_lines ~source:"fleet" (a @ b) in
+  checks "files vs concatenation, byte-identical"
+    (Report.to_markdown concatenated)
+    (Report.to_markdown merged);
+  checki "two campaigns merged" 2 (Report.campaigns merged);
+  checkb "both completed" true (Report.outcome merged = Some "completed");
+  checkb "campaign count in the header" true
+    (contains ~needle:"across 2 merged campaigns" (Report.to_markdown merged));
+  checkb "campaigns-merged summary row" true
+    (contains ~needle:"| campaigns merged | 2 |" (Report.to_markdown merged))
+
+let test_outcome_surfacing () =
+  let _, lines = trace_lines ~iterations:8 () in
+  let md = Report.to_markdown (Report.of_lines lines) in
+  checkb "completed outcome row" true
+    (contains ~needle:"| outcome | completed |" md);
+  checkb "header always counts events and skipped lines" true
+    (contains
+       ~needle:(Printf.sprintf "Replayed %d events, 0 skipped lines." (List.length lines))
+       md);
+  (* a trace cut before its footer reads as incomplete *)
+  let truncated =
+    List.filter
+      (fun l ->
+        match Telemetry.event_of_json (Json.of_string l) with
+        | Some (Telemetry.Campaign_end _) -> false
+        | _ -> true)
+      lines
+  in
+  let r = Report.of_lines truncated in
+  checkb "no footer, no outcome" true (Report.outcome r = None);
+  checkb "incomplete outcome row" true
+    (contains ~needle:"| outcome | incomplete (no campaign_end) |"
+       (Report.to_markdown r));
+  (* html carries the same header *)
+  checkb "html header paragraph" true
+    (contains ~needle:"skipped lines" (Report.to_html r))
+
 let test_top_limits_points () =
   let _, lines = trace_lines ~iterations:24 () in
   let r = Report.of_lines lines in
@@ -155,5 +308,12 @@ let () =
           Alcotest.test_case "deterministic" `Quick test_deterministic;
           Alcotest.test_case "top limits the point table" `Quick
             test_top_limits_points;
+          Alcotest.test_case "rotated merge byte-identity" `Quick
+            test_rotated_merge_byte_identity;
+          Alcotest.test_case "rotated merge after a crash" `Quick
+            test_rotated_merge_after_crash;
+          Alcotest.test_case "shard merge equals concatenation" `Quick
+            test_shard_merge_equals_concat;
+          Alcotest.test_case "outcome surfacing" `Quick test_outcome_surfacing;
         ] );
     ]

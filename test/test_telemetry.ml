@@ -548,6 +548,189 @@ let test_partial_trace_on_raise () =
   Sys.remove path;
   checkb "partial trace holds the events before the crash" true (!lines >= 40)
 
+(* --- campaign_end footer --- *)
+
+let decode line = Telemetry.event_of_json (Json.of_string line)
+
+let test_campaign_end_footer () =
+  let lines = trace_lines ~jobs:1 ~iterations:16 () in
+  (match decode (List.nth lines (List.length lines - 1)) with
+  | Some (Telemetry.Campaign_end e) ->
+      checks "campaign completed" "completed" e.outcome;
+      checki "footer carries the final iteration count" 16 e.iterations_done;
+      checkb "wall-clock stripped from the default trace class" true
+        (e.wall_seconds = None)
+  | _ -> Alcotest.fail "trace must end with a campaign_end footer");
+  (* with the timings opt-in the footer keeps its wall-clock *)
+  let timed = ref [] in
+  let sink = Telemetry.jsonl ~timings:true (fun s -> timed := s :: !timed) in
+  ignore (campaign ~sinks:[ sink ] ~iterations:8 ());
+  checkb "wall-clock present under --timings" true
+    (List.exists
+       (fun l ->
+         match decode l with
+         | Some (Telemetry.Campaign_end { wall_seconds = Some w; _ }) -> w >= 0.
+         | _ -> false)
+       !timed)
+
+let test_campaign_end_on_crash () =
+  (* the crash path still stamps a footer so a partial trace is
+     distinguishable from a completed one *)
+  let lines = ref [] in
+  let trace = Telemetry.jsonl (fun s -> lines := s :: !lines) in
+  let exception Boom in
+  let n = ref 0 in
+  let bomb =
+    Telemetry.make (fun ev ->
+        if not (Telemetry.is_timing_event ev) then begin
+          incr n;
+          if !n > 40 then raise Boom
+        end)
+  in
+  (* batch 8: the bomb trips during the second generation, after the
+     iteration counter has advanced past the first *)
+  (match campaign ~sinks:[ trace; bomb ] ~batch:8 ~iterations:64 () with
+  | exception Boom -> ()
+  | _ -> Alcotest.fail "expected the campaign to propagate the failure");
+  match decode (List.hd !lines) with
+  | Some (Telemetry.Campaign_end e) ->
+      checks "footer says crashed" "crashed" e.outcome;
+      checkb "progress recorded up to the crash" true (e.iterations_done > 0)
+  | _ -> Alcotest.fail "crashed trace must still end with a campaign_end"
+
+(* --- rotating trace writer --- *)
+
+let read_file_lines path =
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> ());
+  close_in ic;
+  List.rev !lines
+
+let rotated_segments base =
+  let rec go i acc =
+    let p = Telemetry.segment_path base i in
+    if Sys.file_exists p then go (i + 1) (p :: acc) else List.rev acc
+  in
+  go 0 []
+
+let remove_segments base =
+  List.iter Sys.remove (rotated_segments base)
+
+let test_rotating_jsonl () =
+  let base = Filename.temp_file "sonar_rot" ".jsonl" in
+  Sys.remove base;
+  let sink = Telemetry.rotating_jsonl ~max_generations:1 base in
+  ignore (campaign ~sinks:[ sink ] ~batch:8 ~iterations:24 ());
+  Telemetry.close sink;
+  let segments = rotated_segments base in
+  checkb "one segment per generation boundary" true (List.length segments >= 3);
+  List.iteri
+    (fun i seg ->
+      let lines = read_file_lines seg in
+      checkb "segment not empty" true (lines <> []);
+      (* every segment is self-contained: it opens with a campaign_start
+         (the real header for segment 0, a resync replay afterwards) *)
+      (match decode (List.hd lines) with
+      | Some (Telemetry.Campaign_start _) -> ()
+      | _ -> Alcotest.failf "segment %d does not open with campaign_start" i);
+      let resyncs =
+        List.filter (fun l -> Telemetry.json_is_resync (Json.of_string l)) lines
+      in
+      if i = 0 then checki "no resync lines in segment 0" 0 (List.length resyncs)
+      else checkb "later segments carry a resync head" true (resyncs <> []))
+    segments;
+  (* dropping the resync lines reassembles exactly the unrotated trace *)
+  let reassembled =
+    List.concat_map
+      (fun seg ->
+        List.filter
+          (fun l -> not (Telemetry.json_is_resync (Json.of_string l)))
+          (read_file_lines seg))
+      segments
+  in
+  let unrotated = trace_lines ~batch:8 ~jobs:1 ~iterations:24 () in
+  checks "reassembly is byte-identical"
+    (String.concat "\n" unrotated)
+    (String.concat "\n" reassembled);
+  remove_segments base
+
+let test_rotating_validation () =
+  let bad f =
+    match f () with exception Invalid_argument _ -> true | _ -> false
+  in
+  checkb "some threshold required" true
+    (bad (fun () -> Telemetry.rotating_jsonl "/tmp/x.jsonl"));
+  checkb "max_bytes >= 1" true
+    (bad (fun () -> Telemetry.rotating_jsonl ~max_bytes:0 "/tmp/x.jsonl"));
+  checkb "max_generations >= 1" true
+    (bad (fun () -> Telemetry.rotating_jsonl ~max_generations:0 "/tmp/x.jsonl"))
+
+(* --- synchronized sink --- *)
+
+let test_synchronized_sink () =
+  let count = ref 0 in
+  let m = Mutex.create () in
+  let sink = Telemetry.synchronized m (Telemetry.make (fun _ -> incr count)) in
+  let ev =
+    Telemetry.Testcase_executed { testcase_id = 1; cycles0 = 5; cycles1 = 5 }
+  in
+  let spin () =
+    for _ = 1 to 10_000 do
+      sink.Telemetry.emit ev
+    done
+  in
+  let d1 = Domain.spawn spin and d2 = Domain.spawn spin in
+  Domain.join d1;
+  Domain.join d2;
+  checki "no emission lost across domains" 20_000 !count
+
+(* --- observatory merge --- *)
+
+let test_observatory_merge () =
+  let build emissions =
+    let sink, snap = Telemetry.observatory () in
+    List.iter sink.Telemetry.emit emissions;
+    snap ()
+  in
+  let hist ~point ~total ~min_interval buckets =
+    Telemetry.Interval_histogram
+      { generation = 1; point; src_pair = 0; total; min_interval;
+        max_interval = 9; buckets }
+  in
+  let a =
+    build
+      [
+        hist ~point:"x" ~total:3 ~min_interval:2 [ (2, 3) ];
+        Telemetry.Coverage_heatmap
+          { generation = 1; components = [ ("exec", 1.) ] };
+      ]
+  in
+  let b =
+    build
+      [
+        hist ~point:"x" ~total:2 ~min_interval:1 [ (1, 2) ];
+        hist ~point:"y" ~total:5 ~min_interval:4 [ (3, 5) ];
+        Telemetry.Coverage_heatmap
+          { generation = 1; components = [ ("exec", 2.); ("lsu", 1.) ] };
+      ]
+  in
+  let m = Telemetry.Observatory.merge a b in
+  (match m.Telemetry.Observatory.points with
+  | [ p1; p2 ] ->
+      checkb "same key summed, re-sorted by min interval" true
+        (p1.Telemetry.Observatory.point = "x" && p2.point = "y");
+      checki "histograms summed" 5 (Telemetry.Histogram.total p1.hist);
+      checkb "merged min" true
+        (Telemetry.Histogram.min_value p1.hist = Some 1)
+  | pts -> Alcotest.failf "expected 2 merged points, got %d" (List.length pts));
+  checkb "heatmap weights summed per component" true
+    (m.heatmap = [ ("exec", 3.); ("lsu", 1.) ])
+
 (* --- observatory sink --- *)
 
 let test_observatory_snapshot () =
@@ -630,15 +813,27 @@ let test_progress_reports () =
   let oc = open_out path in
   let sink = Telemetry.progress ~out:oc ~every:8 ~total:16 () in
   ignore (campaign ~sinks:[ sink ] ~batch:8 ~iterations:16 ());
+  (* the reporter flushes after every line, so the output is on disk
+     before the channel is closed — an observer (tail -f, the serve
+     follower) must not be starved by buffering *)
+  let read () =
+    let ic = open_in path in
+    let contents = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    contents
+  in
+  let contents = read () in
   close_out oc;
-  let ic = open_in path in
-  let len = in_channel_length ic in
-  let contents = really_input_string ic len in
-  close_in ic;
   Sys.remove path;
-  checkb "progress lines written" true
+  checkb "progress lines flushed as they happen" true
     (String.length contents > 0
-    && String.length contents - String.length (String.concat "" (String.split_on_char '\n' contents)) >= 2)
+    && String.length contents - String.length (String.concat "" (String.split_on_char '\n' contents)) >= 2);
+  checkb "final line reports the campaign outcome" true
+    (let rec contains i =
+       i + 8 <= String.length contents
+       && (String.sub contents i 8 = "campaign" || contains (i + 1))
+     in
+     contains 0)
 
 (* --- Options record API --- *)
 
@@ -743,6 +938,15 @@ let () =
             test_trace_jobs_deterministic;
           Alcotest.test_case "timings are opt-in" `Quick test_jsonl_timings_opt_in;
           Alcotest.test_case "jsonl file writer" `Quick test_jsonl_file_writes;
+          Alcotest.test_case "campaign_end footer" `Quick
+            test_campaign_end_footer;
+          Alcotest.test_case "campaign_end on crash" `Quick
+            test_campaign_end_on_crash;
+          Alcotest.test_case "rotating trace writer" `Quick test_rotating_jsonl;
+          Alcotest.test_case "rotation validation" `Quick
+            test_rotating_validation;
+          Alcotest.test_case "synchronized sink" `Quick test_synchronized_sink;
+          Alcotest.test_case "observatory merge" `Quick test_observatory_merge;
           Alcotest.test_case "partial trace survives a crash" `Quick
             test_partial_trace_on_raise;
           Alcotest.test_case "observatory snapshot" `Quick
